@@ -1,0 +1,69 @@
+"""Simulate a full training step of one model on the FPRaker accelerator.
+
+Builds the calibrated workload of a Table-I model, runs the iso-area
+FPRaker (36 tiles) and bit-parallel baseline (8 tiles) simulators, and
+reports per-phase speedups, the lane-cycle breakdown, skipped-term
+composition, and the energy split -- Figs 11-15 of the paper for a
+single model.
+
+Run:  python examples/accelerator_case_study.py [model]
+"""
+
+import sys
+
+from repro.core.accelerator import AcceleratorSimulator
+from repro.core.baseline import BaselineAccelerator
+from repro.models.zoo import STUDIED_MODELS
+from repro.traces.workloads import build_workloads
+
+
+def main(model: str = "ResNet18-Q") -> None:
+    if model not in STUDIED_MODELS:
+        raise SystemExit(f"unknown model {model!r}; choose from {STUDIED_MODELS}")
+    print(f"Simulating one training step of {model} (progress 50%)...\n")
+    workloads = build_workloads(model, progress=0.5)
+    fpraker = AcceleratorSimulator().simulate_workload(workloads)
+    baseline = BaselineAccelerator().simulate_workload(workloads)
+
+    print(f"{'phase':6s} {'FPRaker cycles':>16s} {'baseline cycles':>16s} {'speedup':>8s}")
+    for phase in ("AxW", "GxW", "AxG"):
+        own = fpraker.cycles_of_phase(phase)
+        other = baseline.cycles_of_phase(phase)
+        print(f"{phase:6s} {own:16.3e} {other:16.3e} {other / own:8.2f}")
+    print(
+        f"{'total':6s} {fpraker.cycles:16.3e} {baseline.cycles:16.3e} "
+        f"{fpraker.speedup_vs(baseline):8.2f}"
+    )
+
+    counters = fpraker.counters_total()
+    print("\nLane-cycle breakdown (paper Fig 15):")
+    for name, fraction in counters.lanes.fractions().items():
+        print(f"  {name:12s} {fraction:6.1%}")
+
+    terms = counters.terms
+    print("\nTerm work (paper Fig 13):")
+    print(f"  slots skipped        : {terms.skipped_fraction():6.1%}")
+    print(f"  out-of-bounds share  : {terms.ob_share_of_skipped():6.1%}")
+
+    fpr_energy = fpraker.energy_total()
+    base_energy = baseline.energy_total()
+    print("\nEnergy (paper Figs 11/12):")
+    print(f"  FPRaker core         : {fpr_energy.core.total / 1e6:10.2f} mJ")
+    print(f"  baseline core        : {base_energy.core.total / 1e6:10.2f} mJ")
+    print(
+        f"  core efficiency      : "
+        f"{base_energy.core.total / fpr_energy.core.total:10.2f}x"
+    )
+    print(
+        f"  total efficiency     : "
+        f"{base_energy.total / fpr_energy.total:10.2f}x"
+    )
+    print(
+        f"\nOff-chip traffic with base-delta compression: "
+        f"{sum(p.dram_bytes for p in fpraker.phases) / 1e9:.2f} GB "
+        f"(raw {sum(p.dram_bytes_raw for p in fpraker.phases) / 1e9:.2f} GB)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ResNet18-Q")

@@ -1,0 +1,58 @@
+"""Per-layer accumulator-width profiling (the paper's Fig 21).
+
+Derives Sakr-style per-layer accumulation widths from each layer's
+reduction length, then simulates ResNet18 training with the fixed
+12-bit accumulator versus the profiled widths.  FPRaker converts the
+narrower out-of-bounds thresholds directly into cycles -- no hardware
+change, just more terms that provably cannot affect the result.
+
+Run:  python examples/mixed_precision_profiling.py
+"""
+
+from repro.core.accelerator import AcceleratorSimulator
+from repro.core.baseline import BaselineAccelerator
+from repro.models.zoo import get_model
+from repro.nn.sakr import sakr_accumulator_profile
+from repro.traces.workloads import build_workloads
+
+
+def main(model: str = "ResNet18") -> None:
+    spec = get_model(model)
+    profile = sakr_accumulator_profile(
+        {
+            layer.name: layer.phase_reduction("AxW", spec.batch)
+            for layer in spec.layers
+        }
+    )
+    print(f"Sakr accumulator profile for {model}:")
+    print(f"{'layer':16s} {'reduction':>10s} {'frac bits':>10s}  (fixed: 12)")
+    for layer in spec.layers:
+        print(
+            f"{layer.name:16s} {layer.reduction:10d} "
+            f"{profile[layer.name]:10d}"
+        )
+
+    baseline = BaselineAccelerator().simulate_workload(build_workloads(model))
+    fixed = AcceleratorSimulator().simulate_workload(build_workloads(model))
+    profiled = AcceleratorSimulator().simulate_workload(
+        build_workloads(model, acc_profile=profile)
+    )
+
+    print("\nSpeedup over the bit-parallel baseline (paper Fig 21):")
+    print(f"{'config':14s} {'AxW':>6s} {'GxW':>6s} {'AxG':>6s} {'total':>7s}")
+    for label, result in ((model, fixed), (f"{model}-P", profiled)):
+        row = "  ".join(
+            f"{result.phase_speedup_vs(baseline, phase):5.2f}"
+            for phase in ("AxW", "GxW", "AxG")
+        )
+        print(f"{label:14s} {row}  {result.speedup_vs(baseline):6.2f}")
+    gain = profiled.speedup_vs(baseline) / fixed.speedup_vs(baseline)
+    print(
+        f"\nProfiled widths are {gain:.2f}x faster than the fixed-width "
+        "accumulator (the paper reports 1.56x vs 1.13x for ResNet18 on "
+        "ImageNet -- a 1.38x relative gain)."
+    )
+
+
+if __name__ == "__main__":
+    main()

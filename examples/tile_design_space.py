@@ -1,0 +1,80 @@
+"""Explore the tile design space: the ablations behind FPRaker's choices.
+
+Sweeps the four area-saving design knobs of the paper's Section IV --
+shift window, exponent-block sharing, B-buffer depth, and rows per tile
+-- over one model, showing the performance cost/benefit of each choice
+(paper Figs 15/19/20 and the Section IV design discussion).
+
+Run:  python examples/tile_design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.core.accelerator import AcceleratorSimulator
+from repro.core.baseline import BaselineAccelerator
+from repro.core.config import fpraker_paper_config
+from repro.traces.workloads import build_workloads
+
+MODEL = "VGG16"
+
+
+def _speedup(config, workloads, baseline) -> float:
+    result = AcceleratorSimulator(config).simulate_workload(workloads)
+    return result.speedup_vs(baseline)
+
+
+def main() -> None:
+    workloads = build_workloads(MODEL, progress=0.5)
+    baseline = BaselineAccelerator().simulate_workload(workloads)
+    default = fpraker_paper_config()
+    print(f"Design-space ablations on {MODEL} (speedup vs baseline)\n")
+
+    print("Shift window (paper: 3; larger windows cost shifter area):")
+    for window in (1, 2, 3, 6, 12):
+        pe = replace(default.tile.pe, shift_window=window)
+        config = replace(default, tile=replace(default.tile, pe=pe))
+        marker = "  <- paper" if window == 3 else ""
+        print(f"  window {window:2d}: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+
+    print("\nExponent-block sharing (paper: 2 PEs per block):")
+    for sharing in (1, 2, 4):
+        pe = replace(default.tile.pe, exponent_sharing=sharing)
+        config = replace(default, tile=replace(default.tile, pe=pe))
+        marker = "  <- paper" if sharing == 2 else ""
+        print(f"  {sharing} PE/block: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+
+    print("\nPer-PE B-buffer depth (cross-column run-ahead):")
+    for depth in (1, 2, 4, 8):
+        config = replace(default, tile=replace(default.tile, buffer_depth=depth))
+        marker = "  <- default" if depth == default.tile.buffer_depth else ""
+        print(f"  depth {depth}: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+
+    print("\nRows per tile at constant total PEs (paper Fig 19):")
+    for rows in (2, 4, 8, 16):
+        tiles = default.tiles * default.tile.rows // rows
+        config = replace(
+            default, tiles=tiles, tile=replace(default.tile, rows=rows)
+        )
+        marker = "  <- paper" if rows == 8 else ""
+        print(
+            f"  {rows:2d} rows x {tiles:2d} tiles: "
+            f"{_speedup(config, workloads, baseline):5.2f}x{marker}"
+        )
+
+    print("\nOut-of-bounds skipping and compression (paper Fig 11):")
+    for label, ob, bdc in (
+        ("zero terms only        ", False, False),
+        ("+ base-delta compress  ", False, True),
+        ("+ out-of-bounds skip   ", True, True),
+    ):
+        pe = replace(default.tile.pe, ob_skip=ob)
+        config = replace(
+            default,
+            tile=replace(default.tile, pe=pe),
+            base_delta_compression=bdc,
+        )
+        print(f"  {label}: {_speedup(config, workloads, baseline):5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Train the same network under fp32, bf16, and FPRaker arithmetic.
+
+This is the paper's Fig 17 study in miniature: the FPRaker-emulated run
+must track the bfloat16 baseline, because out-of-bounds skipping only
+drops terms that cannot change the rounded result.  Every MAC of every
+layer -- forward, input-gradient and weight-gradient -- routes through
+the arithmetic engine, just like the paper's PlaidML mad() override.
+
+Run:  python examples/train_with_fpraker.py
+"""
+
+import numpy as np
+
+from repro.nn.data import synthetic_images
+from repro.nn.fpmath import EngineConfig, MatmulEngine
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.training import Trainer
+
+
+def build_network(engine: MatmulEngine, rng: np.random.Generator) -> Sequential:
+    return Sequential(
+        [
+            Conv2d(1, 8, 3, engine, rng, padding=1, name="conv1"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(8, 16, 3, engine, rng, padding=1, name="conv2"),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(16 * 4, 4, engine, rng, name="fc"),
+        ]
+    )
+
+
+def main() -> None:
+    epochs = 10
+    dataset = synthetic_images(
+        classes=4, samples_per_class=150, size=8, noise=0.8, seed=7
+    )
+    print(
+        f"Dataset: {len(dataset.train_y)} train / {len(dataset.test_y)} "
+        f"test samples, {dataset.classes} classes\n"
+    )
+    curves = {}
+    for mode in ("fp32", "bf16", "fpraker"):
+        rng = np.random.default_rng(7)  # identical initialization
+        engine = MatmulEngine(EngineConfig(mode=mode))
+        network = build_network(engine, rng)
+        trainer = Trainer(network, SGD(lr=0.04, momentum=0.9), batch_size=32, seed=7)
+        history = trainer.fit(dataset, epochs=epochs)
+        curves[mode] = history.test_accuracy
+        print(f"{mode:8s} final={history.final_test_accuracy:.3f} "
+              f"best={history.best_test_accuracy:.3f}")
+
+    print("\nPer-epoch validation accuracy:")
+    print("epoch  " + "  ".join(f"{m:>8s}" for m in curves))
+    for epoch in range(epochs):
+        row = "  ".join(f"{curves[m][epoch]:8.3f}" for m in curves)
+        print(f"{epoch:5d}  {row}")
+
+    gap = np.abs(
+        np.array(curves["fpraker"][-3:]) - np.array(curves["bf16"][-3:])
+    ).mean()
+    print(
+        f"\nFPRaker-vs-bf16 gap over the last 3 epochs: {gap:.4f} "
+        "(the paper reports convergence within 0.1% of the baseline)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""FPRaker reproduction: a term-serial FP processing element for training.
+
+A from-scratch implementation of the system described in "FPRaker: A
+Processing Element For Accelerating Neural Network Training" (MICRO
+2021): bit-faithful arithmetic models, cycle-level PE/tile/accelerator
+simulators, the memory and compression substrate, a training framework
+with emulated-FPRaker arithmetic, and a harness regenerating every table
+and figure of the paper's evaluation.
+
+Typical entry points::
+
+    from repro.core import FPRakerPE, AcceleratorSimulator
+    from repro.nn import MatmulEngine, EngineConfig
+    from repro.harness import run_fig11_speedup
+
+or from the shell::
+
+    python -m repro run fig11
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+]

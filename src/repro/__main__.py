@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig11            # regenerate one artifact
+    python -m repro run fig14 --models VGG16 SNLI
+    python -m repro run all              # everything (minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.extensions import (
+    run_inference_extension,
+    run_precision_schedule,
+)
+
+EXPERIMENTS = {
+    "table1": experiments.run_table1,
+    "table2": experiments.run_table2,
+    "table3": experiments.run_table3,
+    "fig1": experiments.run_fig1_sparsity,
+    "fig2": experiments.run_fig2_potential,
+    "fig6": experiments.run_fig6_exponents,
+    "fig10": experiments.run_fig10_compression,
+    "fig11": experiments.run_fig11_speedup,
+    "fig12": experiments.run_fig12_energy,
+    "fig13": experiments.run_fig13_skipped,
+    "fig14": experiments.run_fig14_phases,
+    "fig15": experiments.run_fig15_stalls,
+    "fig16": experiments.run_fig16_obs_sync,
+    "fig17": experiments.run_fig17_accuracy,
+    "fig18": experiments.run_fig18_over_time,
+    "fig19-20": experiments.run_fig19_20_rows,
+    "fig21": experiments.run_fig21_accwidth,
+    "pragmatic": experiments.run_pragmatic_comparison,
+    "ext-precision": run_precision_schedule,
+    "ext-inference": run_inference_extension,
+}
+
+# Experiments that accept a `models` keyword.
+_MODEL_AWARE = {
+    "fig1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig18", "fig19-20", "pragmatic", "ext-inference",
+}
+
+
+def _show(result) -> None:
+    tables = result if isinstance(result, tuple) else (result,)
+    for table in tables:
+        table.show()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the FPRaker paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id, or 'all'")
+    runner.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="restrict model-sweep experiments to these Table-I models",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; try: {', '.join(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        func = EXPERIMENTS[name]
+        kwargs = {}
+        if args.models and name in _MODEL_AWARE:
+            kwargs["models"] = tuple(args.models)
+        _show(func(**kwargs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Ideal work-reduction potential of term skipping (paper Fig 2, eq. 4).
+
+The potential speedup of a phase is the ratio of bit-parallel work (8
+significand positions per MAC) to the terms actually present in the
+phase's serial-side tensor.  FPRaker picks the serial side per layer
+and phase, so the potential uses whichever participating tensor has
+fewer average terms.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.encoding.booth import term_count
+from repro.encoding.terms import TERM_SLOTS
+from repro.traces.calibration import get_calibration
+from repro.traces.synthetic import generate_tensor
+from repro.traces.workloads import PHASE_TENSORS
+
+
+def phase_potential_speedup(
+    model_name: str,
+    phase: str,
+    sample_size: int = 65536,
+    seed: int = 0,
+) -> float:
+    """Ideal speedup of one training phase from term skipping alone.
+
+    Args:
+        model_name: Table I model name.
+        phase: ``"AxW"``, ``"GxW"`` or ``"AxG"``.
+        sample_size: values sampled per tensor.
+        seed: RNG seed.
+
+    Returns:
+        ``8 / mean_terms`` of the better (serial) tensor -- the paper's
+        eq. 4 with the zero and out-of-range terms removed.
+    """
+    calibration = get_calibration(model_name)
+    means = []
+    for tensor in PHASE_TENSORS[phase]:
+        tag = f"potential/{model_name}/{phase}/{tensor}".encode()
+        rng = np.random.default_rng((seed, zlib.crc32(tag)))
+        values = generate_tensor(calibration.for_tensor(tensor), sample_size, rng)
+        means.append(float(term_count(values).mean()))
+    serial_mean = min(means)
+    if serial_mean <= 0.0:
+        return float("inf")
+    return TERM_SLOTS / serial_mean
+
+
+def model_potential_speedups(
+    model_name: str, sample_size: int = 65536, seed: int = 0
+) -> dict[str, float]:
+    """Potential speedup of all three phases of a model.
+
+    Args:
+        model_name: Table I model name.
+        sample_size: values sampled per tensor.
+        seed: RNG seed.
+
+    Returns:
+        ``phase -> potential speedup``.
+    """
+    return {
+        phase: phase_potential_speedup(
+            model_name, phase, sample_size=sample_size, seed=seed
+        )
+        for phase in ("AxG", "GxW", "AxW")
+    }

@@ -1,0 +1,31 @@
+"""Exponent base-delta compression (paper Section IV-D, Figs 9 & 10).
+
+Consecutive values along the channel (and spatial) dimensions of
+training tensors have similar magnitudes, hence similar exponents.  The
+paper compresses the 8-bit exponents of groups of 32 values as one base
+exponent plus 31 narrow deltas whose width is chosen per group and
+recorded in a 3-bit header.  Signs and significands are stored verbatim;
+only off-chip traffic uses the compressed form.
+"""
+
+from repro.compression.base_delta import (
+    GROUP_SIZE,
+    CompressedGroup,
+    compress_exponents,
+    decompress_exponents,
+    exponent_footprint_bits,
+    compression_summary,
+    compress_tensor_bytes,
+    CompressionSummary,
+)
+
+__all__ = [
+    "GROUP_SIZE",
+    "CompressedGroup",
+    "compress_exponents",
+    "decompress_exponents",
+    "exponent_footprint_bits",
+    "compression_summary",
+    "compress_tensor_bytes",
+    "CompressionSummary",
+]

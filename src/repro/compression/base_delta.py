@@ -1,0 +1,363 @@
+"""Base-delta encoding of bfloat16 exponent streams.
+
+Groups of :data:`GROUP_SIZE` = 32 consecutive values are encoded as
+(paper Fig 9):
+
+* a 3-bit header holding the group's delta precision ``P``;
+* the 8-bit base exponent (the first value's exponent field);
+* 32 two's-complement deltas of ``P`` bits each.
+
+The sign and 7-bit significand of every value travel verbatim.  When a
+group's deltas cannot fit 7 bits, the group escapes to raw 8-bit
+exponents (header value 7 plus a raw flag in practice; we charge the
+full raw cost, which is conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.bfloat16 import bf16_to_bits
+
+GROUP_SIZE = 32
+HEADER_BITS = 3
+BASE_BITS = 8
+RAW_EXP_BITS = 8
+MAX_DELTA_BITS = 7  # 3-bit header encodes widths 0..7
+# Sign + significand bits stored verbatim per value.
+VERBATIM_BITS = 1 + 7
+
+
+@dataclass
+class CompressedGroup:
+    """One base-delta group.
+
+    Attributes:
+        base: base exponent field (the first value's).
+        precision: delta width in bits (0..7), or ``RAW_EXP_BITS`` for an
+            escaped raw group.
+        deltas: int64 array of 32 deltas (raw exponents when escaped).
+    """
+
+    base: int
+    precision: int
+    deltas: np.ndarray
+
+    @property
+    def bits(self) -> int:
+        """Storage cost of the group's exponent stream in bits."""
+        if self.precision >= RAW_EXP_BITS:
+            return HEADER_BITS + BASE_BITS + GROUP_SIZE * RAW_EXP_BITS
+        return HEADER_BITS + BASE_BITS + GROUP_SIZE * self.precision
+
+    def exponents(self) -> np.ndarray:
+        """Reconstruct the group's exponent fields."""
+        if self.precision >= RAW_EXP_BITS:
+            return self.deltas.astype(np.int64)
+        return self.base + self.deltas
+
+
+def _signed_width(deltas: np.ndarray) -> np.ndarray:
+    """Two's-complement width needed for each delta (0 for zero)."""
+    d = deltas.astype(np.int64)
+    width = np.zeros_like(d)
+    positive = d > 0
+    negative = d < 0
+    if positive.any():
+        width[positive] = (
+            np.floor(np.log2(d[positive].astype(np.float64))).astype(np.int64) + 2
+        )
+    if negative.any():
+        magnitude = (-d[negative]).astype(np.float64)
+        width[negative] = np.ceil(np.log2(magnitude)).astype(np.int64) + 1
+    return width
+
+
+def exponent_fields(values: np.ndarray) -> np.ndarray:
+    """Extract the raw 8-bit exponent field of each bfloat16 value.
+
+    Args:
+        values: bfloat16-representable array.
+
+    Returns:
+        int64 array of exponent fields (0..255), flattened.
+    """
+    bits = bf16_to_bits(np.asarray(values, dtype=np.float64).ravel())
+    return ((bits.astype(np.int64) >> 7) & 0xFF)
+
+
+def compress_exponents(
+    exponents: np.ndarray,
+    zero_mask: np.ndarray | None = None,
+) -> list[CompressedGroup]:
+    """Encode an exponent-field stream into base-delta groups.
+
+    The stream is zero-padded to a multiple of :data:`GROUP_SIZE`
+    (padding replicates the base so it costs nothing beyond the group).
+
+    A zero *value* is fully identified by its zero significand, so its
+    exponent byte is a don't-care: when ``zero_mask`` is given, zero
+    positions encode as delta 0 and never widen the group (the
+    decompressor regenerates them from the significand stream).  The
+    group's base is the first nonzero value's exponent.
+
+    Args:
+        exponents: int array of exponent fields in group order.
+        zero_mask: optional bool array marking zero values.
+
+    Returns:
+        The encoded groups.
+    """
+    exp = np.asarray(exponents, dtype=np.int64).ravel()
+    if exp.size == 0:
+        return []
+    if zero_mask is None:
+        zero_mask = np.zeros(exp.size, dtype=bool)
+    else:
+        zero_mask = np.asarray(zero_mask, dtype=bool).ravel()
+        if zero_mask.size != exp.size:
+            raise ValueError("zero_mask must match the exponent stream")
+    pad = (-exp.size) % GROUP_SIZE
+    if pad:
+        # Pad with don't-care positions: they never widen a group.
+        exp = np.concatenate([exp, np.full(pad, exp[-1], dtype=np.int64)])
+        zero_mask = np.concatenate([zero_mask, np.ones(pad, dtype=bool)])
+    grouped = exp.reshape(-1, GROUP_SIZE)
+    mask = zero_mask.reshape(-1, GROUP_SIZE)
+    live = ~mask
+    # Base = first live exponent of the group (0 for an all-zero group).
+    first_live = np.where(live.any(axis=1), live.argmax(axis=1), 0)
+    bases = grouped[np.arange(grouped.shape[0]), first_live]
+    bases = np.where(live.any(axis=1), bases, 0)
+    deltas = np.where(live, grouped - bases[:, None], 0)
+    widths = _signed_width(deltas).max(axis=1)
+    groups = []
+    for i in range(grouped.shape[0]):
+        width = int(widths[i])
+        if width > MAX_DELTA_BITS:
+            groups.append(
+                CompressedGroup(
+                    base=int(bases[i]),
+                    precision=RAW_EXP_BITS,
+                    deltas=np.where(live[i], grouped[i], 0),
+                )
+            )
+        else:
+            groups.append(
+                CompressedGroup(
+                    base=int(bases[i]),
+                    precision=width,
+                    deltas=deltas[i].copy(),
+                )
+            )
+    return groups
+
+
+def decompress_exponents(groups: list[CompressedGroup], count: int) -> np.ndarray:
+    """Decode base-delta groups back into an exponent-field stream.
+
+    Args:
+        groups: encoded groups.
+        count: number of valid exponents (strips the padding).
+
+    Returns:
+        int64 array of ``count`` exponent fields.
+    """
+    if not groups:
+        return np.zeros(0, dtype=np.int64)
+    full = np.concatenate([g.exponents() for g in groups])
+    return full[:count]
+
+
+def exponent_footprint_bits(
+    exponents: np.ndarray, zero_mask: np.ndarray | None = None
+) -> int:
+    """Total compressed bits of an exponent stream.
+
+    Args:
+        exponents: int array of exponent fields in group order.
+        zero_mask: optional bool array marking zero values (their
+            exponent bytes are don't-cares).
+
+    Returns:
+        Bits after base-delta compression (headers included).
+    """
+    return sum(g.bits for g in compress_exponents(exponents, zero_mask))
+
+
+@dataclass
+class CompressionSummary:
+    """Measured compression of one tensor.
+
+    Attributes:
+        n_values: values in the tensor.
+        exp_bits_raw: uncompressed exponent bits (8 per value).
+        exp_bits_compressed: exponent bits after base-delta encoding.
+        bytes_raw: uncompressed tensor bytes (2 per value).
+        bytes_compressed: tensor bytes with compressed exponents.
+    """
+
+    n_values: int
+    exp_bits_raw: int
+    exp_bits_compressed: int
+
+    @property
+    def exponent_ratio(self) -> float:
+        """Normalized exponent footprint (Fig 10's metric)."""
+        if self.exp_bits_raw == 0:
+            return 1.0
+        return self.exp_bits_compressed / self.exp_bits_raw
+
+    @property
+    def bytes_raw(self) -> float:
+        """Uncompressed byte footprint of the value stream."""
+        return self.n_values * 2.0
+
+    @property
+    def bytes_compressed(self) -> float:
+        """Byte footprint with base-delta-compressed exponents."""
+        verbatim_bits = self.n_values * VERBATIM_BITS
+        return (verbatim_bits + self.exp_bits_compressed) / 8.0
+
+    @property
+    def total_ratio(self) -> float:
+        """Whole-value compression ratio (compressed / raw)."""
+        if self.n_values == 0:
+            return 1.0
+        return self.bytes_compressed / self.bytes_raw
+
+
+def compression_summary(values: np.ndarray) -> CompressionSummary:
+    """Measure base-delta compression of a tensor's value stream.
+
+    The array should already be ordered the way it will stream off-chip
+    (channel-wise by default; transpose before calling for a spatial
+    grouping study).
+
+    Args:
+        values: bfloat16-representable array.
+
+    Returns:
+        The :class:`CompressionSummary`.
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    exponents = exponent_fields(flat)
+    zero_mask = flat == 0.0
+    return CompressionSummary(
+        n_values=int(exponents.size),
+        exp_bits_raw=int(exponents.size) * RAW_EXP_BITS,
+        exp_bits_compressed=exponent_footprint_bits(exponents, zero_mask),
+    )
+
+
+def compress_tensor_bytes(values: np.ndarray) -> float:
+    """Effective off-chip bytes of a tensor with BDC enabled.
+
+    Args:
+        values: bfloat16-representable array in streaming order.
+
+    Returns:
+        Compressed byte count.
+    """
+    return compression_summary(values).bytes_compressed
+
+
+class _BitWriter:
+    """Append-only bit stream, MSB-first within bytes."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (two's complement)."""
+        mask = (1 << width) - 1
+        encoded = value & mask
+        for position in range(width - 1, -1, -1):
+            self._bits.append((encoded >> position) & 1)
+
+    def to_bytes(self) -> bytes:
+        data = bytearray()
+        for start in range(0, len(self._bits), 8):
+            chunk = self._bits[start : start + 8]
+            chunk += [0] * (8 - len(chunk))
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        return bytes(data)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class _BitReader:
+    """Sequential bit reader matching :class:`_BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0
+
+    def read(self, width: int, signed: bool = False) -> int:
+        """Read ``width`` bits, optionally sign-extending."""
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._position >> 3]
+            bit = (byte >> (7 - (self._position & 7))) & 1
+            value = (value << 1) | bit
+            self._position += 1
+        if signed and width > 0 and value >= (1 << (width - 1)):
+            value -= 1 << width
+        return value
+
+
+def pack_groups(groups: list[CompressedGroup]) -> bytes:
+    """Serialize groups to the actual off-chip bitstream (Fig 9 layout).
+
+    Per group: a 4-bit precision field (3 bits in hardware plus the raw
+    escape; we spend the extra bit explicitly), the 8-bit base, then 32
+    deltas of ``precision`` bits each.
+
+    Args:
+        groups: encoded groups.
+
+    Returns:
+        The packed byte stream.
+    """
+    writer = _BitWriter()
+    for group in groups:
+        writer.write(group.precision, 4)
+        writer.write(group.base, BASE_BITS)
+        width = group.precision if group.precision < RAW_EXP_BITS else RAW_EXP_BITS
+        for delta in group.deltas:
+            if width:
+                writer.write(int(delta), width)
+    return writer.to_bytes()
+
+
+def unpack_groups(data: bytes, n_groups: int) -> list[CompressedGroup]:
+    """Inverse of :func:`pack_groups`.
+
+    Args:
+        data: the packed byte stream.
+        n_groups: number of groups to read.
+
+    Returns:
+        The decoded groups.
+    """
+    reader = _BitReader(data)
+    groups = []
+    for _ in range(n_groups):
+        precision = reader.read(4)
+        base = reader.read(BASE_BITS)
+        width = precision if precision < RAW_EXP_BITS else RAW_EXP_BITS
+        signed = precision < RAW_EXP_BITS
+        deltas = np.array(
+            [reader.read(width, signed=signed) if width else 0 for _ in range(GROUP_SIZE)],
+            dtype=np.int64,
+        )
+        groups.append(
+            CompressedGroup(base=base, precision=precision, deltas=deltas)
+        )
+    return groups

@@ -1,0 +1,62 @@
+"""FPRaker core: the processing element, tile, and accelerator models.
+
+Two complementary models live here:
+
+* a **functional model** (:mod:`repro.core.pe`) that performs the
+  term-serial arithmetic exactly, bit for bit, against the golden
+  extended-precision accumulator -- used for correctness tests and the
+  accuracy study;
+* a **performance model** (:mod:`repro.core.schedule`,
+  :mod:`repro.core.tile`, :mod:`repro.core.accelerator`) that simulates
+  the PE's cycle-by-cycle term schedule (shift window, out-of-bounds
+  skipping, lane synchronization), the shared exponent block, and the
+  tile's column/row synchronization, vectorized across many reduction
+  groups at once.
+
+The bit-parallel baseline and the Bit-Pragmatic-FP comparator the paper
+measures against are in :mod:`repro.core.baseline` and
+:mod:`repro.core.pragmatic`.
+"""
+
+from repro.core.config import (
+    PEConfig,
+    TileConfig,
+    AcceleratorConfig,
+    fpraker_paper_config,
+    baseline_paper_config,
+    pragmatic_paper_config,
+)
+from repro.core.stats import LaneLedger, TermLedger, SimCounters
+from repro.core.pe import FPRakerPE, GroupTrace
+from repro.core.schedule import schedule_groups, group_term_weights
+from repro.core.tile import TileSimulator, TileResult
+from repro.core.accelerator import (
+    AcceleratorSimulator,
+    LayerPhaseResult,
+    WorkloadResult,
+)
+from repro.core.baseline import BaselineAccelerator
+from repro.core.pragmatic import PragmaticFPAccelerator
+
+__all__ = [
+    "PEConfig",
+    "TileConfig",
+    "AcceleratorConfig",
+    "fpraker_paper_config",
+    "baseline_paper_config",
+    "pragmatic_paper_config",
+    "LaneLedger",
+    "TermLedger",
+    "SimCounters",
+    "FPRakerPE",
+    "GroupTrace",
+    "schedule_groups",
+    "group_term_weights",
+    "TileSimulator",
+    "TileResult",
+    "AcceleratorSimulator",
+    "LayerPhaseResult",
+    "WorkloadResult",
+    "BaselineAccelerator",
+    "PragmaticFPAccelerator",
+]

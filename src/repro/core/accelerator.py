@@ -1,0 +1,408 @@
+"""Whole-accelerator simulation: tiles x scheduler x memory roofline.
+
+The simulator consumes :class:`repro.core.workload.PhaseWorkload` items
+(one per layer and training phase), picks the serial side, simulates the
+tile schedule over sampled operand strips, and scales the measured
+cycles-per-group to the phase's exact MAC count.  Off-chip traffic is
+checked against the LPDDR4 roofline (with exponent base-delta
+compression when enabled), and activity counters feed the energy model.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.compression.base_delta import compression_summary
+from repro.core.config import AcceleratorConfig, fpraker_paper_config
+from repro.core.stats import SimCounters
+from repro.core.tile import TileSimulator
+from repro.core.workload import PhaseWorkload
+from repro.encoding.booth import term_count
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.fp.accumulator import AccumulatorSpec
+from repro.fp.bfloat16 import bf16_quantize
+from repro.memory.dram import DRAMModel
+
+
+@dataclass
+class LayerPhaseResult:
+    """Simulation outcome of one layer-phase.
+
+    Attributes:
+        model: model name.
+        layer: layer name.
+        phase: training phase ("AxW", "GxW", "AxG").
+        macs: MACs retired.
+        serial_tensor: which tensor was streamed term-serially.
+        compute_cycles: cycles if compute bound.
+        dram_cycles: cycles if memory bound (after compression).
+        cycles: the phase's cycles -- max of the two.
+        counters: activity counters scaled to the full phase.
+        dram_bytes: effective off-chip bytes (post-BDC when enabled).
+        dram_bytes_raw: uncompressed off-chip bytes.
+        energy: energy breakdown of the phase.
+    """
+
+    model: str
+    layer: str
+    phase: str
+    macs: int
+    serial_tensor: str
+    compute_cycles: float
+    dram_cycles: float
+    cycles: float
+    counters: SimCounters
+    dram_bytes: float
+    dram_bytes_raw: float
+    energy: EnergyBreakdown
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated simulation outcome over many layer-phases.
+
+    Attributes:
+        name: configuration name (e.g. "fpraker", "baseline").
+        model: model name.
+        phases: per-phase results.
+    """
+
+    name: str
+    model: str
+    phases: list[LayerPhaseResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles (phases execute back to back)."""
+        return sum(p.cycles for p in self.phases)
+
+    @property
+    def macs(self) -> int:
+        """Total MACs."""
+        return sum(p.macs for p in self.phases)
+
+    def cycles_of_phase(self, phase: str) -> float:
+        """Total cycles of one training phase across layers."""
+        return sum(p.cycles for p in self.phases if p.phase == phase)
+
+    def macs_of_phase(self, phase: str) -> int:
+        """Total MACs of one training phase across layers."""
+        return sum(p.macs for p in self.phases if p.phase == phase)
+
+    def counters_total(self) -> SimCounters:
+        """Merged activity counters."""
+        total = SimCounters()
+        for p in self.phases:
+            total.add(p.counters)
+        return total
+
+    def energy_total(self) -> EnergyBreakdown:
+        """Merged energy breakdown."""
+        from repro.energy.model import CoreEnergy
+
+        total = EnergyBreakdown(core=CoreEnergy())
+        for p in self.phases:
+            total.add(p.energy)
+        return total
+
+    def speedup_vs(self, other: "WorkloadResult") -> float:
+        """Cycle-count speedup of this run relative to ``other``."""
+        if self.cycles == 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+    def phase_speedup_vs(self, other: "WorkloadResult", phase: str) -> float:
+        """Per-phase speedup relative to ``other``."""
+        own = self.cycles_of_phase(phase)
+        if own == 0:
+            return float("inf")
+        return other.cycles_of_phase(phase) / own
+
+
+def _sample_runs(
+    values: np.ndarray,
+    shape: tuple[int, int],
+    lanes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample groups as *contiguous* runs of the value stream.
+
+    The dataflow feeds a PE group 8 consecutive reduction elements
+    (adjacent channels), which are spatially correlated -- their
+    exponents cluster (paper Fig 6).  Sampling i.i.d. values would
+    destroy that correlation and grossly overstate the intra-group
+    exponent spread, so groups are drawn as contiguous slices of the
+    generated (group-correlated) sample stream.
+
+    Args:
+        values: flat value stream (in streaming order).
+        shape: leading dimensions of the result (e.g. (cols, steps)).
+        lanes: run length (group size).
+        rng: random generator.
+
+    Returns:
+        float64 array of shape ``shape + (lanes,)``.
+    """
+    if values.size < lanes:
+        values = np.tile(values, -(-lanes // max(1, values.size)) + 1)
+    starts = rng.integers(0, values.size - lanes + 1, size=shape)
+    return values[starts[..., None] + np.arange(lanes)]
+
+
+def _sample_column_runs(
+    values: np.ndarray,
+    cols: int,
+    steps: int,
+    lanes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample the serial-side streams of a tile's columns.
+
+    Columns process *neighboring* outputs (adjacent convolution windows
+    or adjacent batch rows), so at any reduction step their serial
+    operands come from overlapping or nearby regions of the same tensor
+    -- their term counts are strongly correlated, which is why the
+    paper's depth-1 B buffers suffice to hide cross-column skew.  Each
+    step draws one random stream position shared by all columns, with a
+    small per-column offset (the window stride).
+
+    Args:
+        values: flat value stream (streaming order).
+        cols: tile columns.
+        steps: reduction steps.
+        lanes: group size.
+        rng: random generator.
+
+    Returns:
+        float64 array ``[cols, steps, lanes]``.
+    """
+    stride = 2
+    span = lanes + stride * (cols - 1)
+    if values.size < span:
+        values = np.tile(values, -(-span // max(1, values.size)) + 1)
+    starts = rng.integers(0, values.size - span + 1, size=steps)
+    offsets = starts[None, :] + stride * np.arange(cols)[:, None]
+    return values[offsets[..., None] + np.arange(lanes)]
+
+
+def choose_serial_side(
+    workload: PhaseWorkload, mode: str
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Pick which tensor streams term-serially.
+
+    ``"auto"`` serializes the tensor with fewer average terms (more term
+    sparsity means fewer cycles), which is the paper's per-layer,
+    per-phase choice.
+
+    Args:
+        workload: the layer-phase.
+        mode: ``"auto"``, ``"a"`` or ``"b"``.
+
+    Returns:
+        ``(serial_values, parallel_values, serial_tensor_name)``.
+    """
+    if mode == "a":
+        return workload.values_a, workload.values_b, workload.tensor_a
+    if mode == "b":
+        return workload.values_b, workload.values_a, workload.tensor_b
+    if mode != "auto":
+        raise ValueError(f"unknown serial-side mode {mode!r}")
+    terms_a = float(term_count(workload.values_a).mean())
+    terms_b = float(term_count(workload.values_b).mean())
+    if terms_a <= terms_b:
+        return workload.values_a, workload.values_b, workload.tensor_a
+    return workload.values_b, workload.values_a, workload.tensor_b
+
+
+class AcceleratorSimulator:
+    """FPRaker accelerator simulator (compute + memory roofline + energy).
+
+    Args:
+        config: accelerator configuration (defaults to the paper's
+            36-tile FPRaker).
+        energy: per-event energy model.
+        dram: off-chip memory model.
+        sample_strips: operand strips sampled per layer-phase.
+        sample_steps: reduction groups per strip (capped by the layer's
+            actual reduction length).
+        seed: RNG seed for operand sampling (results are deterministic).
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig | None = None,
+        energy: EnergyModel | None = None,
+        dram: DRAMModel | None = None,
+        sample_strips: int = 4,
+        sample_steps: int = 32,
+        seed: int = 1234,
+    ) -> None:
+        self.config = config if config is not None else fpraker_paper_config()
+        self.energy = energy if energy is not None else EnergyModel()
+        self.dram = dram if dram is not None else DRAMModel()
+        self.sample_strips = sample_strips
+        self.sample_steps = sample_steps
+        self.seed = seed
+
+    def simulate_phase(self, workload: PhaseWorkload) -> LayerPhaseResult:
+        """Simulate one layer-phase and scale to its full MAC count.
+
+        Args:
+            workload: the layer-phase description.
+
+        Returns:
+            The scaled :class:`LayerPhaseResult`.
+        """
+        cfg = self.config
+        tile_cfg = self._tile_config_for(workload)
+        serial, parallel, serial_name = choose_serial_side(
+            workload, cfg.serial_side_selection
+        )
+        tag = f"{workload.model}/{workload.layer}/{workload.phase}".encode()
+        rng = np.random.default_rng((self.seed, zlib.crc32(tag)))
+        steps = max(1, min(self.sample_steps, workload.reduction // tile_cfg.pe.lanes))
+        simulator = TileSimulator(tile_cfg)
+        sampled = SimCounters()
+        total_steps = 0
+        total_makespan = 0
+        serial_flat = bf16_quantize(np.asarray(serial, dtype=np.float64).ravel())
+        parallel_flat = bf16_quantize(np.asarray(parallel, dtype=np.float64).ravel())
+        # A strip usually sits in the middle of a long reduction: the
+        # accumulator already holds the earlier products' sum, whose
+        # random-walk growth (~ sqrt(n) times the product deviation)
+        # raises the register exponent the OB mechanism keys off.
+        product_std = float(serial_flat.std() * parallel_flat.std())
+        for _ in range(self.sample_strips):
+            a_chunks = _sample_column_runs(
+                serial_flat, tile_cfg.cols, steps, tile_cfg.pe.lanes, rng
+            )
+            b_chunks = _sample_runs(
+                parallel_flat, (tile_cfg.rows, steps), tile_cfg.pe.lanes, rng
+            )
+            prior_macs = int(
+                rng.integers(
+                    0, max(1, workload.reduction - steps * tile_cfg.pe.lanes)
+                )
+            )
+            if prior_macs > 0 and product_std > 0.0:
+                # One draw per row (filter): adjacent columns accumulate
+                # overlapping windows, so their partial sums track each
+                # other closely.
+                per_row = rng.normal(
+                    0.0, product_std * np.sqrt(prior_macs), (tile_cfg.rows, 1)
+                )
+                initial_sum = np.broadcast_to(
+                    per_row, (tile_cfg.rows, tile_cfg.cols)
+                ).copy()
+            else:
+                initial_sum = None
+            result = simulator.simulate_strip(a_chunks, b_chunks, initial_sum)
+            sampled.add(result.counters)
+            total_steps += result.steps
+            total_makespan += result.makespan
+        cycles_per_step = total_makespan / total_steps
+        total_groups = workload.macs / tile_cfg.pe.lanes
+        scale = total_groups / sampled.groups
+        counters = SimCounters()
+        counters.add(sampled, weight=scale)
+        compute_cycles = (
+            workload.macs
+            * cycles_per_step
+            / (cfg.tiles * tile_cfg.rows * tile_cfg.cols * tile_cfg.pe.lanes)
+        )
+        counters.cycles = compute_cycles
+        dram_bytes_raw = workload.total_bytes
+        dram_bytes = self._effective_dram_bytes(workload, serial, parallel)
+        dram_cycles = self.dram.transfer_cycles(dram_bytes, cfg.clock_mhz)
+        cycles = max(compute_cycles, dram_cycles)
+        energy = self._phase_energy(workload, counters, dram_bytes, tile_cfg)
+        return LayerPhaseResult(
+            model=workload.model,
+            layer=workload.layer,
+            phase=workload.phase,
+            macs=workload.macs,
+            serial_tensor=serial_name,
+            compute_cycles=compute_cycles,
+            dram_cycles=dram_cycles,
+            cycles=cycles,
+            counters=counters,
+            dram_bytes=dram_bytes,
+            dram_bytes_raw=dram_bytes_raw,
+            energy=energy,
+        )
+
+    def simulate_workload(
+        self, workloads: list[PhaseWorkload], model: str = ""
+    ) -> WorkloadResult:
+        """Simulate a full list of layer-phases.
+
+        Args:
+            workloads: layer-phases of one model's training step.
+            model: model name for the report (defaults to the first
+                workload's).
+
+        Returns:
+            The aggregated :class:`WorkloadResult`.
+        """
+        if not workloads:
+            raise ValueError("empty workload list")
+        result = WorkloadResult(
+            name=self.config.name,
+            model=model or workloads[0].model,
+        )
+        for workload in workloads:
+            result.phases.append(self.simulate_phase(workload))
+        return result
+
+    def _tile_config_for(self, workload: PhaseWorkload):
+        """Tile config, honoring a per-layer accumulator width override."""
+        tile_cfg = self.config.tile
+        if workload.acc_frac_bits is None:
+            return tile_cfg
+        spec = AccumulatorSpec(
+            frac_bits=workload.acc_frac_bits,
+            int_bits=tile_cfg.pe.accumulator.int_bits,
+            chunk_size=tile_cfg.pe.accumulator.chunk_size,
+        )
+        return replace(tile_cfg, pe=replace(tile_cfg.pe, accumulator=spec))
+
+    def _effective_dram_bytes(
+        self,
+        workload: PhaseWorkload,
+        serial: np.ndarray,
+        parallel: np.ndarray,
+    ) -> float:
+        """Off-chip bytes after base-delta compression (when enabled)."""
+        raw = workload.total_bytes
+        if not self.config.base_delta_compression or raw == 0:
+            return raw
+        ratio_a = compression_summary(serial).total_ratio
+        ratio_b = compression_summary(parallel).total_ratio
+        return raw * (ratio_a + ratio_b) / 2.0
+
+    def _phase_energy(
+        self,
+        workload: PhaseWorkload,
+        counters: SimCounters,
+        dram_bytes: float,
+        tile_cfg,
+    ) -> EnergyBreakdown:
+        """Energy breakdown of the phase from its activity counters."""
+        core = self.energy.fpraker_core_energy(counters, lanes=tile_cfg.pe.lanes)
+        on_chip_bytes = self._on_chip_bytes(workload, tile_cfg)
+        return EnergyBreakdown(
+            core=core,
+            on_chip=self.energy.on_chip_energy(on_chip_bytes),
+            off_chip=self.energy.off_chip_energy(dram_bytes),
+        )
+
+    def _on_chip_bytes(self, workload: PhaseWorkload, tile_cfg) -> float:
+        """Global-buffer traffic: operand broadcasts plus output writes."""
+        operand_bytes = (
+            workload.macs * 2.0 * (1.0 / tile_cfg.rows + 1.0 / tile_cfg.cols)
+        )
+        output_bytes = 2.0 * workload.macs / max(1, workload.reduction)
+        return operand_bytes + output_bytes

@@ -1,0 +1,275 @@
+"""The FPRaker processing element: bit-faithful functional model.
+
+This is the reference implementation of one PE (paper Figs 3--5): eight
+MAC lanes whose serial-side ("A") operands are expanded into canonical
+signed-power-of-two terms, multiplied against the parallel-side ("B")
+significands by shifting, and accumulated into the extended-precision
+register.
+
+The model is *exact*: all arithmetic uses Python integers, and the
+result matches :class:`repro.fp.accumulator.ExtendedAccumulator` bit for
+bit when out-of-bounds skipping is disabled (skipping only drops terms
+that lie beyond the accumulator's reach, so enabling it perturbs the
+result by at most a few grid ulps -- the tests bound this).
+
+Timing follows the modified PE of Fig 4: per cycle the control unit
+picks the round's ``base`` as the smallest pending alignment offset and
+fires every lane whose offset is within the shift window (3 positions);
+lanes farther away stall ("shift range"), lanes out of terms idle ("no
+term").  A worked replay of the paper's Fig 5 example lives in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PEConfig
+from repro.encoding.booth import csd_encode
+from repro.encoding.terms import TERM_SLOTS
+from repro.fp.accumulator import ExtendedAccumulator, ZERO_EXP
+from repro.fp.bfloat16 import bf16_fields
+
+_BF16_FRAC = 7  # stored significand bits of bfloat16
+
+# Unbiased exponent the hardware reads from a zero bfloat16 operand
+# (exponent field of all zeros, bias 127).
+_ZERO_OPERAND_EXP = -127
+
+
+def _operand_exponent(x: float) -> int:
+    """Unbiased exponent of a bfloat16 operand as the exponent adders see it."""
+    _, exp, _, is_zero = bf16_fields(x)
+    return _ZERO_OPERAND_EXP if bool(is_zero) else int(exp)
+
+
+@dataclass
+class GroupTrace:
+    """Everything one group (8 MAC lanes, one A set) produced.
+
+    Attributes:
+        cycles: schedule length in cycles (>= 1; the exponent-sharing
+            minimum of 2 is applied at the tile level).
+        emax: the round's maximum exponent (``ZERO_EXP`` for an all-zero
+            round with a zero accumulator).
+        lane_useful: per-lane cycles that fired a term.
+        lane_shift: per-lane cycles stalled on the shift window.
+        lane_no_term: per-lane cycles idle with no terms left.
+        terms_processed: terms fired across all lanes.
+        terms_zero_skipped: bit-parallel slots never encoded (zero bits /
+            zero values), out of 8 per lane.
+        terms_ob_skipped: encoded terms skipped as out of bounds.
+        result: accumulator value after the group (extended precision).
+    """
+
+    cycles: int
+    emax: int
+    lane_useful: list[int]
+    lane_shift: list[int]
+    lane_no_term: list[int]
+    terms_processed: int
+    terms_zero_skipped: int
+    terms_ob_skipped: int
+    result: float
+
+
+@dataclass
+class _LaneWork:
+    """Per-lane decoded work for one group."""
+
+    k_offsets: list[int] = field(default_factory=list)
+    contribution: tuple[int, int] = (0, 0)  # (mantissa, exp2), exact
+    zero_slots: int = TERM_SLOTS
+    ob_terms: int = 0
+
+
+class FPRakerPE:
+    """One FPRaker processing element (functional + per-group timing).
+
+    Args:
+        config: PE parameters; defaults to the paper's (8 lanes, shift
+            window 3, OB skipping on, 4+12-bit accumulator).
+    """
+
+    def __init__(self, config: PEConfig | None = None) -> None:
+        self.config = config if config is not None else PEConfig()
+        self.accumulator = ExtendedAccumulator(self.config.accumulator)
+
+    def reset(self) -> None:
+        """Clear the accumulator."""
+        self.accumulator.reset()
+
+    def value(self) -> float:
+        """Current accumulator value at extended precision."""
+        return self.accumulator.value()
+
+    def read_bf16(self) -> float:
+        """Accumulator value rounded to bfloat16 (the memory write-back)."""
+        return self.accumulator.read_bf16()
+
+    def process_group(
+        self,
+        a_values: np.ndarray | list[float],
+        b_values: np.ndarray | list[float],
+    ) -> GroupTrace:
+        """Process one group of (A, B) pairs: MACs accumulated in place.
+
+        Args:
+            a_values: serial-side operands, bfloat16-representable, up to
+                ``lanes`` of them.
+            b_values: parallel-side operands, same length.
+
+        Returns:
+            A :class:`GroupTrace` with the timing/work ledger and result.
+        """
+        a = np.atleast_1d(np.asarray(a_values, dtype=np.float64))
+        b = np.atleast_1d(np.asarray(b_values, dtype=np.float64))
+        if a.shape != b.shape:
+            raise ValueError(f"lane count mismatch: {a.shape} vs {b.shape}")
+        if a.size > self.config.lanes:
+            raise ValueError(
+                f"group of {a.size} exceeds {self.config.lanes} lanes"
+            )
+        emax = self._exponent_block(a, b)
+        lanes = [self._decode_lane(a[i], b[i], emax) for i in range(a.size)]
+        cycles, useful, shift_stall, no_term = _schedule_scalar(
+            [lane.k_offsets for lane in lanes],
+            window=self.config.shift_window,
+        )
+        contributions = [lane.contribution for lane in lanes]
+        if emax != ZERO_EXP:
+            self.accumulator.accumulate_exact(contributions, emax)
+        return GroupTrace(
+            cycles=cycles,
+            emax=emax,
+            lane_useful=useful,
+            lane_shift=shift_stall,
+            lane_no_term=no_term,
+            terms_processed=sum(len(lane.k_offsets) for lane in lanes),
+            terms_zero_skipped=sum(lane.zero_slots for lane in lanes),
+            terms_ob_skipped=sum(lane.ob_terms for lane in lanes),
+            result=self.accumulator.value(),
+        )
+
+    def _exponent_block(self, a: np.ndarray, b: np.ndarray) -> int:
+        """Block 1: product exponents and the round maximum (Fig 3).
+
+        A zero operand's exponent field reads as the minimum (-127
+        unbiased), exactly as the hardware adders see it, so zero pairs
+        never win the MAX and their terms land far out of bounds.
+        """
+        if a.size == 0:
+            return self.accumulator.eacc if self.accumulator.sig else ZERO_EXP
+        exps = [
+            _operand_exponent(a[i]) + _operand_exponent(b[i])
+            for i in range(a.size)
+        ]
+        if not self.accumulator.is_zero:
+            exps.append(self.accumulator.eacc)
+        return max(exps)
+
+    def _decode_lane(self, a: float, b: float, emax: int) -> _LaneWork:
+        """Expand one lane's A into terms, filter OB, form its exact sum."""
+        sa, ea, ma, za = bf16_fields(a)
+        sb, eb, mb, zb = bf16_fields(b)
+        if bool(za):
+            # No terms are ever encoded for a zero serial operand.
+            return _LaneWork()
+        terms = csd_encode(int(ma))
+        zero_slots = TERM_SLOTS - len(terms)
+        abe = _operand_exponent(a) + _operand_exponent(b)
+        threshold = self.config.accumulator.ob_threshold
+        product_sign = -1 if int(sa) ^ int(sb) else 1
+        k_offsets: list[int] = []
+        kept = []
+        ob_terms = 0
+        for term in terms:
+            # Alignment offset of this term's shifted B significand
+            # relative to the round's emax (Fig 5: k = emax - (ABe - t)).
+            k = (emax - abe) + (_BF16_FRAC - term.power)
+            if self.config.ob_skip and k > threshold:
+                # This and every later (smaller) term is out of bounds.
+                ob_terms = len(terms) - len(kept)
+                break
+            if not self.config.ob_skip:
+                # The shifters saturate at the accumulator's reach; a
+                # farther term sheds all its bits into the sticky
+                # position and never serializes the base walk.  A
+                # wide-datapath design (saturate_shifts=False) realizes
+                # the full alignment up to the format's range.
+                cap = (
+                    threshold + self.config.shift_window
+                    if self.config.saturate_shifts
+                    else 48
+                )
+                k = min(k, cap)
+            k_offsets.append(k)
+            kept.append(term)
+        if bool(zb):
+            # A zero parallel operand contributes nothing numerically,
+            # but the serial side's terms still occupy the lane.
+            contribution = (0, 0)
+        else:
+            mantissa = sum(
+                product_sign * t.sign * int(mb) * (1 << t.power) for t in kept
+            )
+            # Each kept piece is sign * Bm * 2^(ABe + p - 14).
+            contribution = (mantissa, abe - 2 * _BF16_FRAC)
+        return _LaneWork(
+            k_offsets=k_offsets,
+            contribution=contribution,
+            zero_slots=zero_slots,
+            ob_terms=ob_terms,
+        )
+
+
+def _schedule_scalar(
+    k_lists: list[list[int]],
+    window: int,
+) -> tuple[int, list[int], list[int], list[int]]:
+    """Cycle-by-cycle schedule of one group (reference implementation).
+
+    Per cycle: ``base`` is the smallest pending offset; every lane whose
+    pending offset is within ``window`` of base fires; other pending
+    lanes record a shift-range stall; exhausted lanes record no-term
+    idling while the group is still in flight.  A group always costs at
+    least one cycle (the exponent block is invoked regardless).
+
+    Args:
+        k_lists: per-lane ascending alignment offsets (already OB
+            filtered).
+        window: shift window (paper: 3).
+
+    Returns:
+        ``(cycles, useful, shift_stall, no_term)`` with per-lane lists.
+    """
+    lanes = len(k_lists)
+    index = [0] * lanes
+    useful = [0] * lanes
+    shift_stall = [0] * lanes
+    no_term = [0] * lanes
+    cycles = 0
+    while True:
+        pending = [
+            lane for lane in range(lanes) if index[lane] < len(k_lists[lane])
+        ]
+        if not pending:
+            break
+        base = min(k_lists[lane][index[lane]] for lane in pending)
+        cycles += 1
+        for lane in range(lanes):
+            if index[lane] >= len(k_lists[lane]):
+                no_term[lane] += 1
+            elif k_lists[lane][index[lane]] - base <= window:
+                useful[lane] += 1
+                index[lane] += 1
+            else:
+                shift_stall[lane] += 1
+    if cycles == 0:
+        # The exponent block still consumes the group's one mandatory
+        # cycle; every lane idles through it.
+        cycles = 1
+        no_term = [1] * lanes
+    return cycles, useful, shift_stall, no_term

@@ -1,0 +1,237 @@
+"""Vectorized cycle-schedule model of the FPRaker PE.
+
+The functional model in :mod:`repro.core.pe` schedules one group at a
+time with Python loops; this module simulates the *same* schedule for
+many groups simultaneously using numpy, which is what makes
+layer-scale performance simulation tractable.  The two implementations
+are cross-checked against each other in the test suite.
+
+A "group" is one set of up to 8 (A, B) operand pairs entering one PE:
+the A significands expand into canonical signed-power-of-two terms, each
+term's alignment offset ``k`` is its shift distance below the round's
+maximum exponent, and the schedule fires terms MSB-first under the
+shift-window constraint (paper Fig 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PEConfig
+from repro.encoding.booth import term_positions
+from repro.encoding.terms import MAX_TERMS, TERM_SLOTS
+from repro.fp.bfloat16 import bf16_fields
+
+_BF16_FRAC = 7
+_ZERO_OPERAND_EXP = -127
+
+# Sentinel offset for padded / skipped term slots: far beyond any real
+# alignment offset, so it never wins a min().
+_K_SENTINEL = np.int64(1 << 30)
+
+# Largest alignment walk any datapath realizes: beyond the widest
+# accumulator every contribution is zero, and a real design clamps its
+# shift-distance arithmetic there.
+_MAX_ALIGNMENT = np.int64(48)
+
+
+@dataclass
+class ScheduleResult:
+    """Vectorized schedule outcome for a batch of groups.
+
+    All arrays are indexed ``[group]`` or ``[group, lane]``.
+
+    Attributes:
+        cycles: schedule length per group (>= 1).
+        useful: lane-cycles that fired a term.
+        shift_stall: lane-cycles stalled on the shift window.
+        no_term: lane-cycles idle with no terms left.
+        terms_processed: terms fired per lane.
+        terms_zero_skipped: bit-parallel slots never encoded per lane.
+        terms_ob_skipped: terms skipped as out-of-bounds per lane.
+    """
+
+    cycles: np.ndarray
+    useful: np.ndarray
+    shift_stall: np.ndarray
+    no_term: np.ndarray
+    terms_processed: np.ndarray
+    terms_zero_skipped: np.ndarray
+    terms_ob_skipped: np.ndarray
+
+    @property
+    def groups(self) -> int:
+        """Number of groups in the batch."""
+        return int(self.cycles.size)
+
+    def total_cycles(self) -> int:
+        """Sum of schedule lengths (serial execution of the batch)."""
+        return int(self.cycles.sum())
+
+
+def operand_exponents(values: np.ndarray) -> np.ndarray:
+    """Unbiased exponents as the exponent adders read them (zeros -> -127).
+
+    Args:
+        values: bfloat16-representable array.
+
+    Returns:
+        int64 array of the same shape.
+    """
+    _, exp, _, is_zero = bf16_fields(values)
+    return np.where(is_zero, _ZERO_OPERAND_EXP, exp).astype(np.int64)
+
+
+def group_term_weights(
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    eacc: np.ndarray | None,
+    config: PEConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand a batch of groups into per-term alignment offsets.
+
+    Args:
+        a_values: serial-side operands, shape ``[groups, lanes]``,
+            bfloat16-representable.
+        b_values: parallel-side operands, same shape (only their
+            exponents matter for timing).
+        eacc: accumulator exponent per group (int64 ``[groups]``), or
+            None for zero accumulators.
+        config: PE parameters (shift window, OB skipping, threshold).
+
+    Returns:
+        Tuple ``(k, kept, zero_slots, ob_skipped, emax)``:
+
+        * ``k``: int64 ``[groups, lanes, MAX_TERMS]`` ascending alignment
+          offsets, ``_K_SENTINEL``-padded beyond ``kept``;
+        * ``kept``: int64 ``[groups, lanes]`` terms surviving OB skipping;
+        * ``zero_slots``: int64 ``[groups, lanes]`` never-encoded slots;
+        * ``ob_skipped``: int64 ``[groups, lanes]`` OB-discarded terms;
+        * ``emax``: int64 ``[groups]`` round maximum exponents.
+    """
+    a_exp = operand_exponents(a_values)
+    b_exp = operand_exponents(b_values)
+    abe = a_exp + b_exp
+    emax = abe.max(axis=1)
+    if eacc is not None:
+        emax = np.maximum(emax, np.asarray(eacc, dtype=np.int64))
+    count, power, _ = term_positions(a_values)
+    # k = (emax - ABe) + (7 - p); power is MSB-first so k ascends along
+    # the term axis.
+    k = (emax[:, None, None] - abe[:, :, None]) + (_BF16_FRAC - power)
+    slot = np.arange(MAX_TERMS, dtype=np.int64)
+    valid = slot[None, None, :] < count[:, :, None]
+    k = np.where(valid, k, _K_SENTINEL)
+    zero_slots = TERM_SLOTS - count
+    threshold = config.accumulator.ob_threshold
+    if config.ob_skip:
+        out_of_bounds = valid & (k > threshold)
+        ob_skipped = out_of_bounds.sum(axis=2)
+        kept = count - ob_skipped
+        k = np.where(out_of_bounds, _K_SENTINEL, k)
+    else:
+        ob_skipped = np.zeros_like(count)
+        kept = count
+        if config.saturate_shifts:
+            # Terms are still issued, but the offset arithmetic
+            # saturates just past the accumulator's reach (the shift
+            # distance is computed in narrow hardware): every farther
+            # term's bits fall into the sticky position and the base
+            # walk never exceeds threshold + window.
+            k = np.where(
+                valid, np.minimum(k, threshold + config.shift_window), k
+            )
+        else:
+            # Wide-datapath designs (Pragmatic-FP) must realize the full
+            # alignment; only the format's own range bounds the walk.
+            k = np.where(valid, np.minimum(k, _MAX_ALIGNMENT), k)
+    return k, kept, zero_slots, ob_skipped, emax
+
+
+def schedule_groups(
+    a_values: np.ndarray,
+    b_values: np.ndarray,
+    config: PEConfig | None = None,
+    eacc: np.ndarray | None = None,
+) -> ScheduleResult:
+    """Simulate the PE schedule for a batch of independent groups.
+
+    Args:
+        a_values: serial-side operands ``[groups, lanes]``.
+        b_values: parallel-side operands ``[groups, lanes]``.
+        config: PE parameters (defaults to the paper's).
+        eacc: optional accumulator exponent per group.
+
+    Returns:
+        The per-group :class:`ScheduleResult`.
+    """
+    config = config if config is not None else PEConfig()
+    k, kept, zero_slots, ob_skipped, _ = group_term_weights(
+        a_values, b_values, eacc, config
+    )
+    return schedule_from_weights(k, kept, zero_slots, ob_skipped, config)
+
+
+def schedule_from_weights(
+    k: np.ndarray,
+    kept: np.ndarray,
+    zero_slots: np.ndarray,
+    ob_skipped: np.ndarray,
+    config: PEConfig,
+) -> ScheduleResult:
+    """Run the cycle loop over pre-expanded term offsets.
+
+    Args:
+        k: ``[groups, lanes, MAX_TERMS]`` ascending offsets, sentinel
+            padded.
+        kept: ``[groups, lanes]`` surviving term counts.
+        zero_slots: ``[groups, lanes]`` never-encoded slots.
+        ob_skipped: ``[groups, lanes]`` OB-discarded terms.
+        config: PE parameters (shift window).
+
+    Returns:
+        The per-group :class:`ScheduleResult`.
+    """
+    groups, lanes, _ = k.shape
+    index = np.zeros((groups, lanes), dtype=np.int64)
+    useful = np.zeros((groups, lanes), dtype=np.int64)
+    shift_stall = np.zeros((groups, lanes), dtype=np.int64)
+    no_term = np.zeros((groups, lanes), dtype=np.int64)
+    cycles = np.zeros(groups, dtype=np.int64)
+    window = config.shift_window
+    # Each iteration fires at least one term in every active group, so
+    # the loop runs at most max total kept terms per group times.
+    while True:
+        pending = index < kept
+        group_active = pending.any(axis=1)
+        if not group_active.any():
+            break
+        current = np.take_along_axis(
+            k, np.minimum(index, k.shape[2] - 1)[:, :, None], axis=2
+        )[:, :, 0]
+        current = np.where(pending, current, _K_SENTINEL)
+        base = current.min(axis=1)
+        fire = pending & (current - base[:, None] <= window)
+        useful += fire
+        index += fire
+        active_col = group_active[:, None]
+        shift_stall += (pending & ~fire) & active_col
+        no_term += (~pending) & active_col
+        cycles += group_active
+    # A group with no terms at all still costs its one exponent cycle,
+    # with every lane idle.
+    empty = cycles == 0
+    if empty.any():
+        cycles = np.where(empty, 1, cycles)
+        no_term += empty[:, None].astype(np.int64)
+    return ScheduleResult(
+        cycles=cycles,
+        useful=useful,
+        shift_stall=shift_stall,
+        no_term=no_term,
+        terms_processed=kept,
+        terms_zero_skipped=zero_slots,
+        terms_ob_skipped=ob_skipped,
+    )

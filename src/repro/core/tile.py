@@ -1,0 +1,283 @@
+"""FPRaker tile simulation: PEs under shared-operand synchronization.
+
+A tile (paper Fig 8) is a grid of ``rows x cols`` PEs:
+
+* each **column** streams one serial-side (A) operand set, expanded once
+  by term encoders shared down the column -- every PE of the column must
+  finish the current A group before the column advances;
+* each **row** broadcasts one parallel-side (B) operand set to all
+  columns -- per-PE B buffers of depth ``N`` allow a column to run ahead
+  of the slowest column by at most ``N`` groups;
+* each **pair of PEs in a column** shares one exponent block, making two
+  cycles the minimum cost of a group;
+* OB signals of a lane are synchronized down the column.
+
+The simulator consumes one "strip" of work: ``steps`` consecutive
+reduction groups for every PE, with the accumulator exponent evolving as
+the reduction proceeds (which is what the out-of-bounds mechanism keys
+off).  Results are expressed per column-step so the accelerator level
+can scale them to full layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TileConfig
+from repro.core.schedule import (
+    _K_SENTINEL,
+    ScheduleResult,
+    group_term_weights,
+    schedule_from_weights,
+)
+from repro.core.stats import LaneLedger, SimCounters, TermLedger
+
+# Accumulator-exponent sentinel for an empty accumulator; far below any
+# real bfloat16 product exponent but safe in int64 arithmetic.
+_EACC_ZERO = -(1 << 40)
+
+
+@dataclass
+class TileResult:
+    """Outcome of simulating one strip on one tile.
+
+    Attributes:
+        makespan: cycles from first group issue to last group retire.
+        steps: reduction groups simulated per PE.
+        counters: aggregated work/stall ledger (lane-cycles sum to
+            ``makespan * rows * cols * lanes``).
+        cycles_per_step: makespan / steps -- the scaling quantity.
+    """
+
+    makespan: int
+    steps: int
+    counters: SimCounters
+
+    @property
+    def cycles_per_step(self) -> float:
+        """Average cycles the tile needs per reduction group step."""
+        return self.makespan / self.steps if self.steps else 0.0
+
+
+def accumulator_exponents(
+    a_chunks: np.ndarray,
+    b_chunks: np.ndarray,
+    initial_sum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evolve the per-PE accumulator exponent along the reduction.
+
+    The OB mechanism compares term offsets against the *current*
+    accumulator exponent.  The PE accumulates every product of an output
+    into one higher-precision register (paper Section IV-A), so the
+    register's exponent tracks the running partial sum of the *whole*
+    reduction -- the chunk-based scheme of Sakr et al. governs which
+    significand bits are retained, not the register's magnitude.  We
+    emulate the running sum in float64 (exact at the exponent level) and
+    read its exponent before every step.
+
+    Args:
+        a_chunks: serial operands ``[cols, steps, lanes]``.
+        b_chunks: parallel operands ``[rows, steps, lanes]``.
+        initial_sum: optional warm-start partial sums ``[rows, cols]``
+            for strips that sit in the middle of a long reduction.
+
+    Returns:
+        int64 ``[rows, cols, steps]`` accumulator exponents *entering*
+        each step (``_EACC_ZERO`` where the running sum is still zero).
+    """
+    # partial[r, c, s] = sum_l a[c, s, l] * b[r, s, l]
+    partial = np.einsum("csl,rsl->rcs", a_chunks, b_chunks)
+    running = np.cumsum(partial, axis=2)
+    if initial_sum is not None:
+        running = running + initial_sum[:, :, None]
+        first = np.broadcast_to(
+            initial_sum[:, :, None], running[:, :, :1].shape
+        ).copy()
+    else:
+        first = np.zeros_like(running[:, :, :1])
+    # Exponent entering step s is that of the sum over steps < s.
+    entering = np.concatenate([first, running[:, :, :-1]], axis=2)
+    nonzero = entering != 0.0
+    _, exp = np.frexp(np.abs(entering))
+    eacc = np.where(nonzero, exp.astype(np.int64) - 1, _EACC_ZERO)
+    return eacc
+
+
+class TileSimulator:
+    """Cycle-level simulator of one FPRaker tile over a work strip."""
+
+    def __init__(self, config: TileConfig | None = None) -> None:
+        self.config = config if config is not None else TileConfig()
+
+    def simulate_strip(
+        self,
+        a_chunks: np.ndarray,
+        b_chunks: np.ndarray,
+        initial_sum: np.ndarray | None = None,
+    ) -> TileResult:
+        """Simulate ``steps`` reduction groups across the whole tile.
+
+        Args:
+            a_chunks: serial operands ``[cols, steps, lanes]``
+                (bfloat16-representable; column ``c`` streams
+                ``a_chunks[c]``).
+            b_chunks: parallel operands ``[rows, steps, lanes]`` (row
+                ``r`` broadcasts ``b_chunks[r]`` to every column).
+            initial_sum: optional warm-start accumulator values
+                ``[rows, cols]`` for strips sampled mid-reduction.
+
+        Returns:
+            The :class:`TileResult` for the strip.
+        """
+        cfg = self.config
+        cols, steps, lanes = a_chunks.shape
+        rows = b_chunks.shape[0]
+        if cols != cfg.cols or rows != cfg.rows or lanes != cfg.pe.lanes:
+            raise ValueError(
+                f"strip shape ({rows}x{cols}, {lanes} lanes) does not match "
+                f"tile config ({cfg.rows}x{cfg.cols}, {cfg.pe.lanes} lanes)"
+            )
+        eacc = accumulator_exponents(a_chunks, b_chunks, initial_sum)
+        schedule = self._schedule_columns(a_chunks, b_chunks, eacc)
+        column_sched = schedule.cycles.reshape(cols, steps)
+        floor = cfg.pe.min_group_cycles
+        col_cycles = np.maximum(column_sched, floor)
+        exp_stall = np.maximum(floor - column_sched, 0)
+        finish, cross_idle = self._column_timeline(col_cycles)
+        makespan = int(finish[:, -1].max())
+        counters = self._build_counters(
+            schedule,
+            col_cycles,
+            exp_stall,
+            cross_idle,
+            finish,
+            makespan,
+            rows,
+        )
+        return TileResult(makespan=makespan, steps=steps, counters=counters)
+
+    def _schedule_columns(
+        self,
+        a_chunks: np.ndarray,
+        b_chunks: np.ndarray,
+        eacc: np.ndarray,
+    ) -> ScheduleResult:
+        """One schedule per (column, step): the column is the unit.
+
+        The term encoders are shared down a column, so all of a column's
+        PEs consume the same A-term stream in lockstep; per-row exponent
+        differences shift each PE's alignment offsets, and the binding
+        row (largest offset) gates when a term can fire within the shift
+        window.  OB signals are synchronized down the column: a term is
+        skipped only once *every* row agrees it is out of bounds, i.e.
+        based on the smallest per-row offset.
+        """
+        rows = b_chunks.shape[0]
+        cols, steps, lanes = a_chunks.shape
+        a_groups = np.broadcast_to(
+            a_chunks[None, :, :, :], (rows, cols, steps, lanes)
+        ).reshape(-1, lanes)
+        b_groups = np.broadcast_to(
+            b_chunks[:, None, :, :], (rows, cols, steps, lanes)
+        ).reshape(-1, lanes)
+        cfg = self.config.pe
+        k, kept, zero_slots, ob_skipped, _ = group_term_weights(
+            a_groups, b_groups, eacc.reshape(-1), cfg
+        )
+        n_terms = k.shape[2]
+        k = k.reshape(rows, cols * steps, lanes, n_terms)
+        kept = kept.reshape(rows, cols * steps, lanes)
+        zero_slots = zero_slots.reshape(rows, cols * steps, lanes)
+        ob_skipped = ob_skipped.reshape(rows, cols * steps, lanes)
+        # Firing is gated by the row needing the largest shift; skipping
+        # by the row that still reaches the term (column-synchronized
+        # OB).  A term already dropped in some row (sentinel offset) must
+        # not block the others, so the firing offset ignores dropped rows
+        # by construction: kept counts come from the per-column minimum
+        # of dropped terms, and the offset stream keeps a term when any
+        # row keeps it.
+        col_ob = ob_skipped.min(axis=0)
+        col_kept = kept.max(axis=0)
+        k_live = np.where(k >= _K_SENTINEL, np.int64(-1), k)
+        k_fire = k_live.max(axis=0)
+        k_fire = np.where(k_fire < 0, _K_SENTINEL, k_fire)
+        return schedule_from_weights(
+            k_fire, col_kept, zero_slots[0], col_ob, cfg
+        )
+
+    def _column_timeline(
+        self, col_cycles: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sequence column steps under the B-broadcast buffer constraint.
+
+        Args:
+            col_cycles: ``[cols, steps]`` per-column group durations.
+
+        Returns:
+            ``(finish, cross_idle)``: completion time of every column
+            step, and the idle cycles each column spent waiting for B
+            sets held back by slower columns.
+        """
+        cols, steps = col_cycles.shape
+        depth = self.config.buffer_depth
+        finish = np.zeros((cols, steps), dtype=np.int64)
+        cross_idle = np.zeros((cols, steps), dtype=np.int64)
+        prev_finish = np.zeros(cols, dtype=np.int64)
+        for s in range(steps):
+            # B set s is released once every column consumed set s-depth.
+            gate = int(finish[:, s - depth].max()) if s >= depth else 0
+            start = np.maximum(prev_finish, gate)
+            cross_idle[:, s] = start - prev_finish
+            prev_finish = start + col_cycles[:, s]
+            finish[:, s] = prev_finish
+        return finish, cross_idle
+
+    def _build_counters(
+        self,
+        schedule: ScheduleResult,
+        col_cycles: np.ndarray,
+        exp_stall: np.ndarray,
+        cross_idle: np.ndarray,
+        finish: np.ndarray,
+        makespan: int,
+        rows: int,
+    ) -> SimCounters:
+        """Aggregate lane-cycle and term ledgers for the strip.
+
+        The schedule is per column-step; every one of the column's
+        ``rows`` PEs mirrors it (shared term encoders), so its ledgers
+        scale by ``rows``.  Lane-cycles conserve exactly:
+        ``makespan * rows * cols * lanes``.
+        """
+        cfg = self.config
+        cols, steps = col_cycles.shape
+        lanes = cfg.pe.lanes
+        ledger = LaneLedger(
+            useful=float(schedule.useful.sum()) * rows,
+            no_term=float(schedule.no_term.sum()) * rows,
+            shift_range=float(schedule.shift_stall.sum()) * rows,
+        )
+        # Waiting on the shared exponent block (the 2-cycle group floor).
+        ledger.exponent = float(exp_stall.sum()) * rows * lanes
+        # Cross-column waits on broadcast B sets, plus columns idling
+        # while the slowest column drains the strip.
+        cross_wait = float(cross_idle.sum())
+        drain = float((makespan - finish[:, -1]).sum())
+        ledger.inter_pe = (cross_wait + drain) * rows * lanes
+        terms = TermLedger(
+            processed=float(schedule.terms_processed.sum()) * rows,
+            zero_skipped=float(schedule.terms_zero_skipped.sum()) * rows,
+            ob_skipped=float(schedule.terms_ob_skipped.sum()) * rows,
+        )
+        counters = SimCounters(
+            cycles=float(makespan),
+            groups=float(rows * cols * steps),
+            macs=float(rows * cols * steps * lanes),
+            lanes=ledger,
+            terms=terms,
+            exponent_invocations=float(rows * cols * steps),
+            accumulator_updates=float(rows * cols * steps),
+        )
+        return counters

@@ -1,0 +1,73 @@
+"""Workload descriptions consumed by the accelerator simulators.
+
+A training step of a layer performs three matrix-style operations
+(paper eqs. 1-3):
+
+* ``A x W`` -- forward convolution / GEMM: ``Z = I . W``;
+* ``G x W`` -- input-gradient backprop: ``dE/dI = W^T . dE/dZ``;
+* ``A x G`` -- weight-gradient: ``dE/dW = I . dE/dZ``.
+
+Each :class:`PhaseWorkload` carries the exact MAC/geometry bookkeeping of
+one layer-phase plus *value samples* of the two participating tensors,
+from which the simulator draws operand strips.  FPRaker may serialize
+either tensor; the choice is made per layer and phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+PHASES = ("AxW", "GxW", "AxG")
+
+
+@dataclass
+class PhaseWorkload:
+    """One layer-phase of training work.
+
+    Attributes:
+        model: model name (reporting only).
+        layer: layer name (reporting only).
+        phase: one of :data:`PHASES`.
+        macs: total multiply-accumulate operations of this phase.
+        reduction: reduction (dot-product) length per output element.
+        tensor_a: name of the first tensor ("A", "W" or "G").
+        tensor_b: name of the second tensor.
+        values_a: value sample of the first tensor
+            (bfloat16-representable float64 array).
+        values_b: value sample of the second tensor.
+        input_bytes: off-chip bytes read for this phase (uncompressed).
+        output_bytes: off-chip bytes written (uncompressed).
+        acc_frac_bits: optional per-layer accumulator fractional width
+            (Sakr et al. profiling, Fig 21); None keeps the config's.
+        weight: relative frequency weight when aggregating (e.g. when a
+            sampled layer stands for several identical ones).
+    """
+
+    model: str
+    layer: str
+    phase: str
+    macs: int
+    reduction: int
+    tensor_a: str
+    tensor_b: str
+    values_a: np.ndarray
+    values_b: np.ndarray
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    acc_frac_bits: int | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}; expected {PHASES}")
+        if self.macs <= 0:
+            raise ValueError(f"macs must be positive, got {self.macs}")
+        if self.reduction <= 0:
+            raise ValueError(f"reduction must be positive, got {self.reduction}")
+
+    @property
+    def total_bytes(self) -> float:
+        """Total off-chip traffic of the phase (uncompressed)."""
+        return self.input_bytes + self.output_bytes

@@ -1,0 +1,32 @@
+"""Canonical signed-power-of-two (Booth) encoding of significands.
+
+FPRaker processes the serial-side operand of each MAC as a stream of
+signed powers of two ("terms").  The conversion is performed on the fly
+by term encoders shared along tile columns; values stay in bfloat16 in
+memory.  This package implements the canonical signed-digit (CSD)
+encoding the paper uses, both scalar (for the bit-faithful PE model) and
+vectorized through lookup tables (for the performance model and the
+sparsity analyses).
+"""
+
+from repro.encoding.terms import Term, MAX_TERMS, TERM_SLOTS
+from repro.encoding.booth import (
+    csd_encode,
+    csd_decode,
+    terms_of_value,
+    term_count,
+    term_positions,
+    term_sparsity,
+)
+
+__all__ = [
+    "Term",
+    "MAX_TERMS",
+    "TERM_SLOTS",
+    "csd_encode",
+    "csd_decode",
+    "terms_of_value",
+    "term_count",
+    "term_positions",
+    "term_sparsity",
+]

@@ -1,0 +1,51 @@
+"""Term datatypes for the signed-power-of-two encoding.
+
+A *term* is one signed power of two of a CSD-encoded significand.  For a
+bfloat16 significand ``1.xxxxxxx`` (8 bits including the hidden one,
+i.e. the integer ``man`` in ``[128, 255]`` standing for ``man * 2^-7``),
+CSD digits occupy powers ``p`` in ``[0, 8]`` of the ``2^-7``-scaled
+integer, so the term's value relative to the significand's binary point
+is ``sign * 2^(p - 7)`` with ``p - 7`` in ``[-7, +1]``.
+
+CSD guarantees no two adjacent nonzero digits, so an 8-bit significand
+produces at most :data:`MAX_TERMS` = 5 terms.  A bit-parallel unit, by
+contrast, always pays for all :data:`TERM_SLOTS` = 8 bit positions; the
+difference is the "term sparsity" FPRaker converts into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Maximum number of CSD terms of an 8-bit significand (verified
+# exhaustively in the tests).
+MAX_TERMS = 5
+
+# Bit positions a bit-parallel multiplier processes per bfloat16
+# significand (7 stored bits + the hidden one).  Term-sparsity figures
+# are reported relative to this.
+TERM_SLOTS = 8
+
+
+@dataclass(frozen=True, order=True)
+class Term:
+    """One signed power of two of an encoded significand.
+
+    Attributes:
+        power: digit position ``p`` of the ``2^-7``-scaled significand
+            integer; the term's value is ``sign * 2^(power - 7)`` relative
+            to the significand's binary point.
+        sign: +1 or -1.
+    """
+
+    power: int
+    sign: int
+
+    @property
+    def exponent_offset(self) -> int:
+        """Term exponent relative to the significand's binary point."""
+        return self.power - 7
+
+    def value(self) -> float:
+        """Numeric value of the term relative to the binary point."""
+        return self.sign * 2.0**self.exponent_offset

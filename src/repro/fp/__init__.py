@@ -1,0 +1,55 @@
+"""Software floating-point substrate.
+
+This package implements the numerical formats FPRaker operates on:
+
+* :mod:`repro.fp.softfloat` -- a generic (sign, exponent, significand)
+  format with round-to-nearest-even quantization, vectorized over numpy
+  arrays.  Denormals are not supported, matching the paper's assumption.
+* :mod:`repro.fp.bfloat16` -- the bfloat16 instantiation used by all
+  datapaths, plus raw uint16 bit conversions.
+* :mod:`repro.fp.accumulator` -- the extended-precision accumulator of the
+  FPRaker PE (4 integer + 12 fractional bits, RNE) and the chunk-based
+  accumulation scheme of Sakr et al. that the paper adopts.
+"""
+
+from repro.fp.softfloat import (
+    FloatFormat,
+    BFLOAT16,
+    FP16,
+    FP32,
+    decompose,
+    compose,
+    quantize,
+)
+from repro.fp.bfloat16 import (
+    bf16_quantize,
+    bf16_to_bits,
+    bits_to_bf16,
+    bf16_fields,
+)
+from repro.fp.accumulator import (
+    AccumulatorSpec,
+    ExtendedAccumulator,
+    ChunkAccumulator,
+    Product,
+    exact_product,
+)
+
+__all__ = [
+    "FloatFormat",
+    "BFLOAT16",
+    "FP16",
+    "FP32",
+    "decompose",
+    "compose",
+    "quantize",
+    "bf16_quantize",
+    "bf16_to_bits",
+    "bits_to_bf16",
+    "bf16_fields",
+    "AccumulatorSpec",
+    "ExtendedAccumulator",
+    "ChunkAccumulator",
+    "Product",
+    "exact_product",
+]

@@ -1,0 +1,80 @@
+"""Bfloat16 helpers.
+
+Bfloat16 is the operand format of the FPRaker PE: 1 sign bit, 8 exponent
+bits (bias 127), 7 significand bits.  All values stay in bfloat16 while in
+memory; the PE expands them on the fly.
+
+Two representations are used throughout the code base:
+
+* *float64 carrier*: numpy float64 arrays whose elements are exactly
+  representable in bfloat16 (produced by :func:`bf16_quantize`).  All
+  arithmetic models consume this representation.
+* *raw bits*: uint16 arrays matching the in-memory layout, used by the
+  memory-system and compression models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.softfloat import BFLOAT16, decompose, quantize
+
+
+def bf16_quantize(values: np.ndarray | float, overflow: str = "sat") -> np.ndarray:
+    """Round values to bfloat16 (RNE), flushing denormals to zero.
+
+    Args:
+        values: input array or scalar.
+        overflow: ``"sat"`` (default, training-friendly) or ``"inf"``.
+
+    Returns:
+        float64 array exactly representable in bfloat16.
+    """
+    return quantize(values, BFLOAT16, overflow=overflow)
+
+
+def bf16_to_bits(values: np.ndarray | float) -> np.ndarray:
+    """Encode bfloat16-representable values to raw uint16 bits.
+
+    The layout is the upper half of the IEEE-754 float32 encoding, which
+    is exactly how bfloat16 is stored in memory.
+
+    Args:
+        values: values already representable in bfloat16.
+
+    Returns:
+        uint16 array of raw bfloat16 bit patterns.
+    """
+    f32 = np.asarray(values, dtype=np.float32)
+    u32 = f32.view(np.uint32)
+    return (u32 >> 16).astype(np.uint16)
+
+
+def bits_to_bf16(bits: np.ndarray) -> np.ndarray:
+    """Decode raw uint16 bfloat16 bits to a float64 carrier array.
+
+    Args:
+        bits: uint16 array of bfloat16 bit patterns.
+
+    Returns:
+        float64 array of the represented values.
+    """
+    u32 = np.asarray(bits, dtype=np.uint32) << 16
+    return u32.view(np.float32).astype(np.float64)
+
+
+def bf16_fields(
+    values: np.ndarray | float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split bfloat16 values into (sign, unbiased exp, 8-bit significand, zero mask).
+
+    The significand includes the hidden leading one, so nonzero entries
+    lie in ``[128, 255]`` (i.e. ``1.xxxxxxx`` times ``2^exp``).
+
+    Args:
+        values: values representable in bfloat16.
+
+    Returns:
+        Tuple of numpy arrays ``(sign, exp, man, is_zero)``.
+    """
+    return decompose(values, BFLOAT16)

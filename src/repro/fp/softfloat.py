@@ -1,0 +1,228 @@
+"""Generic software floating-point formats.
+
+A :class:`FloatFormat` describes an IEEE-754-like binary format by its
+exponent and significand widths.  All conversions are vectorized over
+numpy float64 arrays, which can represent every value of every format we
+care about (bfloat16, fp16, fp32 significands all fit in float64's 52-bit
+significand), so quantization is exact.
+
+Denormals are flushed to zero: the paper assumes they are not supported
+("the MSBs of the activations are guaranteed to be one (given denormals
+are not supported)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-like binary floating point format.
+
+    Attributes:
+        exp_bits: width of the biased exponent field.
+        man_bits: width of the stored significand field (excluding the
+            hidden leading 1).
+        name: human-readable name used in reports.
+    """
+
+    exp_bits: int
+    man_bits: int
+    name: str = "custom"
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (IEEE convention)."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a finite normal value."""
+        return (1 << self.exp_bits) - 2 - self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal value."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        frac = 2.0 - 2.0 ** (-self.man_bits)
+        return frac * 2.0 ** self.emax
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** self.emin
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width: sign + exponent + significand."""
+        return 1 + self.exp_bits + self.man_bits
+
+    def __str__(self) -> str:
+        return f"{self.name}(e{self.exp_bits}m{self.man_bits})"
+
+
+BFLOAT16 = FloatFormat(exp_bits=8, man_bits=7, name="bfloat16")
+FP16 = FloatFormat(exp_bits=5, man_bits=10, name="fp16")
+FP32 = FloatFormat(exp_bits=8, man_bits=23, name="fp32")
+
+
+def quantize(
+    values: np.ndarray | float,
+    fmt: FloatFormat,
+    overflow: str = "inf",
+) -> np.ndarray:
+    """Round values to ``fmt`` with round-to-nearest-even.
+
+    Denormal results are flushed to (signed) zero.  Overflow either
+    saturates to the largest finite magnitude (``overflow="sat"``) or
+    produces infinity (``overflow="inf"``, IEEE behaviour).
+
+    Args:
+        values: array (or scalar) of finite float64 values.
+        fmt: target format.
+        overflow: ``"inf"`` or ``"sat"``.
+
+    Returns:
+        float64 array whose every element is exactly representable in
+        ``fmt``.
+    """
+    if overflow not in ("inf", "sat"):
+        raise ValueError(f"overflow must be 'inf' or 'sat', got {overflow!r}")
+    x = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(x)
+    finite = np.isfinite(x) & (x != 0.0)
+    if np.any(finite):
+        xf = x[finite]
+        man, exp = np.frexp(np.abs(xf))
+        # frexp yields man in [0.5, 1); shift to the [1, 2) convention.
+        exp = exp - 1
+        # Round the significand to man_bits fractional bits (man in [1,2)).
+        scaled = np.ldexp(man, fmt.man_bits + 1)  # in [2^m, 2^(m+1))
+        rounded = _round_half_even(scaled)
+        # Rounding can push the significand to 2.0 exactly.
+        carry = rounded >= np.ldexp(1.0, fmt.man_bits + 1)
+        rounded = np.where(carry, rounded / 2.0, rounded)
+        exp = exp + carry.astype(np.int64)
+        # rounded == significand * 2^man_bits, so the value is
+        # rounded * 2^(exp - man_bits).
+        result = np.ldexp(rounded, exp - fmt.man_bits) * np.sign(xf)
+        # Flush denormals (magnitude below the smallest normal) to zero.
+        result = np.where(np.abs(result) < fmt.min_normal, 0.0, result)
+        # Handle overflow.
+        over = np.abs(result) > fmt.max_value
+        if overflow == "sat":
+            result = np.where(over, np.sign(result) * fmt.max_value, result)
+        else:
+            result = np.where(over, np.copysign(np.inf, result), result)
+        out[finite] = result
+    # Propagate infinities and NaN unchanged.
+    special = ~np.isfinite(x)
+    out[special] = x[special]
+    return out
+
+
+def decompose(
+    values: np.ndarray | float, fmt: FloatFormat
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split values (already representable in ``fmt``) into bit fields.
+
+    Args:
+        values: finite values exactly representable in ``fmt``.
+        fmt: the format.
+
+    Returns:
+        Tuple ``(sign, exp, man, is_zero)`` where ``sign`` is 0/1,
+        ``exp`` the *unbiased* exponent (int64, 0 where zero), ``man``
+        the significand as an integer in ``[2^man_bits, 2^(man_bits+1))``
+        including the hidden bit (0 where zero), and ``is_zero`` a bool
+        mask.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    sign = (np.signbit(x)).astype(np.int64)
+    is_zero = x == 0.0
+    man_f, exp = np.frexp(np.abs(x))
+    exp = exp - 1  # significand convention [1, 2)
+    man = np.rint(np.ldexp(man_f, fmt.man_bits + 1)).astype(np.int64)
+    man = np.where(is_zero, 0, man)
+    exp = np.where(is_zero, 0, exp).astype(np.int64)
+    return sign, exp, man, is_zero
+
+
+def compose(
+    sign: np.ndarray,
+    exp: np.ndarray,
+    man: np.ndarray,
+    fmt: FloatFormat,
+) -> np.ndarray:
+    """Inverse of :func:`decompose`.
+
+    Args:
+        sign: 0/1 array.
+        exp: unbiased exponents.
+        man: significand integers including the hidden bit; 0 means zero.
+        fmt: the format.
+
+    Returns:
+        float64 array of the encoded values.
+    """
+    man = np.asarray(man, dtype=np.int64)
+    exp = np.asarray(exp, dtype=np.int64)
+    sign = np.asarray(sign, dtype=np.int64)
+    mag = np.ldexp(man.astype(np.float64), exp - fmt.man_bits)
+    return np.where(sign == 1, -mag, mag)
+
+
+def _round_half_even(x: np.ndarray) -> np.ndarray:
+    """Round to nearest integer, ties to even (numpy's rint semantics)."""
+    return np.rint(x)
+
+
+def round_significand(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Round values to ``1 + frac_bits`` significand bits (RNE), any exponent.
+
+    This is the normalization step of the extended accumulator: the
+    exponent range is unconstrained, only the significand is narrowed.
+
+    Args:
+        values: float64 array.
+        frac_bits: fractional significand bits to keep.
+
+    Returns:
+        float64 array rounded to the requested precision.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    out = np.zeros_like(x)
+    finite = np.isfinite(x) & (x != 0.0)
+    if np.any(finite):
+        xf = x[finite]
+        man, exp = np.frexp(np.abs(xf))
+        scaled = np.ldexp(man, frac_bits + 1)
+        rounded = _round_half_even(scaled)
+        out[finite] = np.ldexp(rounded, exp - 1 - frac_bits) * np.sign(xf)
+    special = ~np.isfinite(x)
+    out[special] = x[special]
+    return out
+
+
+def ulp(value: float, fmt: FloatFormat) -> float:
+    """Unit in the last place of ``value`` in format ``fmt``.
+
+    Args:
+        value: a finite nonzero value.
+        fmt: the format.
+
+    Returns:
+        The spacing between ``value`` and the next representable value of
+        the same sign.
+    """
+    if value == 0.0:
+        return fmt.min_normal * 2.0 ** (-fmt.man_bits)
+    _, exp = np.frexp(abs(value))
+    return float(2.0 ** (int(exp) - 1 - fmt.man_bits))

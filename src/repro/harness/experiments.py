@@ -1,0 +1,603 @@
+"""Regeneration of every table and figure of the paper's evaluation.
+
+Conventions: functions return a :class:`repro.harness.report.Table`
+(sometimes with extra structured data); ``models`` defaults to the
+paper's nine studied models but can be narrowed for quick runs; all
+randomness is seeded, so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.exponents import exponent_histogram, exponent_range_covered
+from repro.analysis.potential import model_potential_speedups
+from repro.analysis.sparsity import model_sparsity_report
+from repro.compression.base_delta import compression_summary
+from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
+from repro.core.baseline import BaselineAccelerator
+from repro.core.config import (
+    AcceleratorConfig,
+    baseline_paper_config,
+    fpraker_paper_config,
+    pragmatic_paper_config,
+)
+from repro.core.pragmatic import PragmaticFPAccelerator
+from repro.energy.model import AreaModel, EnergyModel, TABLE3
+from repro.models.zoo import MODEL_ZOO, STUDIED_MODELS, get_model
+from repro.nn.data import synthetic_images
+from repro.nn.fpmath import EngineConfig, MatmulEngine
+from repro.nn.optim import SGD
+from repro.nn.sakr import sakr_accumulator_profile
+from repro.nn.training import Trainer
+from repro.harness.report import Table, geomean
+from repro.traces.calibration import get_calibration
+from repro.traces.capture import capture_training_traces
+from repro.traces.synthetic import generate_tensor
+from repro.traces.workloads import build_workloads
+
+PHASES = ("AxW", "GxW", "AxG")
+
+
+def _variant_config(variant: str) -> AcceleratorConfig:
+    """FPRaker config for one of Fig 11's decomposition variants."""
+    config = fpraker_paper_config()
+    if variant == "full":
+        return config
+    pe_no_ob = replace(config.tile.pe, ob_skip=False)
+    tile = replace(config.tile, pe=pe_no_ob)
+    if variant == "zero":
+        return replace(config, tile=tile, base_delta_compression=False)
+    if variant == "zero+bdc":
+        return replace(config, tile=tile, base_delta_compression=True)
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def _simulate(
+    model: str,
+    config: AcceleratorConfig | None = None,
+    progress: float = 0.5,
+    seed: int = 0,
+    acc_profile: dict[str, int] | None = None,
+) -> WorkloadResult:
+    """Simulate one model's training step on one configuration."""
+    workloads = build_workloads(
+        model, progress=progress, seed=seed, acc_profile=acc_profile
+    )
+    if config is not None and config.name == "baseline":
+        return BaselineAccelerator(config).simulate_workload(workloads)
+    simulator = AcceleratorSimulator(config)
+    return simulator.simulate_workload(workloads)
+
+
+def _baseline(model: str, progress: float = 0.5, seed: int = 0) -> WorkloadResult:
+    workloads = build_workloads(model, progress=progress, seed=seed)
+    return BaselineAccelerator().simulate_workload(workloads)
+
+
+def run_table1() -> Table:
+    """Table I: the studied models."""
+    table = Table(
+        "Table I: Models Studied",
+        ["Model", "Application", "Dataset", "Layers", "MACs/step"],
+    )
+    for name in STUDIED_MODELS:
+        spec = get_model(name)
+        table.add_row(
+            spec.name,
+            spec.application,
+            spec.dataset,
+            sum(layer.count for layer in spec.layers),
+            float(spec.total_macs_per_step),
+        )
+    return table
+
+
+def run_table2() -> Table:
+    """Table II: evaluated configurations."""
+    fpr = fpraker_paper_config()
+    base = baseline_paper_config()
+    table = Table(
+        "Table II: Baseline and FPRaker configurations",
+        ["Parameter", "FPRaker", "Baseline"],
+    )
+    table.add_row(
+        "Tile configuration",
+        f"{fpr.tile.rows}x{fpr.tile.cols}",
+        f"{base.tile.rows}x{base.tile.cols}",
+    )
+    table.add_row("Tiles", fpr.tiles, base.tiles)
+    table.add_row("Total PEs", fpr.total_pes, base.total_pes)
+    table.add_row("Lanes/PE", fpr.tile.pe.lanes, base.tile.pe.lanes)
+    table.add_row("Peak MACs/cycle", "-", base.peak_macs_per_cycle)
+    table.add_row("Clock (MHz)", fpr.clock_mhz, base.clock_mhz)
+    return table
+
+
+def run_table3() -> Table:
+    """Table III: per-tile area and power, plus iso-area tile counts."""
+    area = AreaModel()
+    table = Table(
+        "Table III: Area and power per tile",
+        ["Design", "PE array [um^2]", "Encoders [um^2]", "Total [um^2]",
+         "Normalized", "Power [mW]"],
+    )
+    table.add_row(
+        "FPRaker",
+        TABLE3.fpraker_pe_array_area,
+        TABLE3.fpraker_encoder_area,
+        TABLE3.fpraker_tile_area,
+        round(TABLE3.area_ratio, 3),
+        TABLE3.fpraker_tile_power,
+    )
+    table.add_row(
+        "Baseline",
+        TABLE3.baseline_tile_area,
+        0.0,
+        TABLE3.baseline_tile_area,
+        1.0,
+        TABLE3.baseline_tile_power,
+    )
+    table.add_row(
+        "iso-area FPRaker tiles", "-", "-", "-", area.iso_area_tiles(8), "-"
+    )
+    table.add_row(
+        "iso-area Pragmatic tiles", "-", "-", "-",
+        area.iso_area_pragmatic_tiles(8), "-",
+    )
+    return table
+
+
+def run_fig1_sparsity(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    sample_size: int = 65536,
+    seed: int = 0,
+) -> Table:
+    """Figs 1a/1b: value and term sparsity per tensor per model."""
+    table = Table(
+        "Fig 1: Value and term sparsity during training",
+        ["Model", "value A", "value W", "value G",
+         "term A", "term W", "term G"],
+    )
+    for model in models:
+        report = model_sparsity_report(model, sample_size=sample_size, seed=seed)
+        table.add_row(
+            model,
+            report.value["A"], report.value["W"], report.value["G"],
+            report.term["A"], report.term["W"], report.term["G"],
+        )
+    return table
+
+
+def run_fig2_potential(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    sample_size: int = 65536,
+    seed: int = 0,
+) -> Table:
+    """Fig 2: ideal per-phase speedup from term skipping (eq. 4)."""
+    table = Table(
+        "Fig 2: Potential speedup of exploiting term sparsity",
+        ["Model", "AxG", "GxW", "AxW"],
+    )
+    for model in models:
+        potential = model_potential_speedups(
+            model, sample_size=sample_size, seed=seed
+        )
+        table.add_row(model, potential["AxG"], potential["GxW"], potential["AxW"])
+    return table
+
+
+def run_fig6_exponents(epochs: int = 6, seed: int = 0) -> Table:
+    """Fig 6: exponent ranges at the start and end of real training.
+
+    Trains the capture model end to end and reports the exponent band
+    holding 99 % of each tensor at the first and last epoch -- the
+    narrow-range observation behind the shift-window and BDC designs.
+    """
+    captured = capture_training_traces(
+        epochs=epochs, capture_epochs=(0, epochs - 1), seed=seed
+    )
+    table = Table(
+        "Fig 6: Exponent range (99% mass) at start vs end of training",
+        ["Tensor", f"epoch 0", f"epoch {epochs - 1}", "full bf16 range"],
+    )
+    for tensor in ("I", "W", "G"):
+        first = exponent_range_covered(captured.tensor(0, tensor))
+        last = exponent_range_covered(captured.tensor(epochs - 1, tensor))
+        table.add_row(tensor, first, last, 256)
+    return table
+
+
+def run_fig10_compression(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    sample_size: int = 65536,
+    seed: int = 0,
+) -> Table:
+    """Fig 10: normalized exponent footprint after base-delta compression."""
+    table = Table(
+        "Fig 10: Exponent footprint after base-delta compression",
+        ["Model", "A (channel)", "W (channel)", "G (channel)", "A (spatial)"],
+    )
+    for model in models:
+        calibration = get_calibration(model)
+        rng = np.random.default_rng(seed)
+        ratios = {}
+        for tensor in ("A", "W", "G"):
+            values = generate_tensor(
+                calibration.for_tensor(tensor), sample_size, rng
+            )
+            ratios[tensor] = compression_summary(values).exponent_ratio
+        # Spatial grouping: a coarser shuffle of the stream (half-group
+        # offset) stands in for walking the H dimension instead.
+        values = generate_tensor(calibration.activations, sample_size, rng)
+        spatial = values.reshape(-1, 16)[::2].ravel()
+        spatial_ratio = compression_summary(spatial).exponent_ratio
+        table.add_row(model, ratios["A"], ratios["W"], ratios["G"], spatial_ratio)
+    return table
+
+
+def run_fig11_speedup(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 11: iso-area speedup decomposition and core energy efficiency."""
+    energy = EnergyModel()
+    table = Table(
+        "Fig 11: FPRaker vs baseline (iso compute area)",
+        ["Model", "Perf (Zero Terms)", "Perf (BDC + Zero Terms)",
+         "Total Perf (BDC + Zero/OB)", "Core Energy Efficiency"],
+    )
+    speedups, zero_only, zero_bdc, core_eff = [], [], [], []
+    for model in models:
+        base = _baseline(model, progress, seed)
+        zero = _simulate(model, _variant_config("zero"), progress, seed)
+        bdc = _simulate(model, _variant_config("zero+bdc"), progress, seed)
+        full = _simulate(model, _variant_config("full"), progress, seed)
+        eff = (
+            base.energy_total().core.total / full.energy_total().core.total
+        )
+        table.add_row(
+            model,
+            zero.speedup_vs(base),
+            bdc.speedup_vs(base),
+            full.speedup_vs(base),
+            eff,
+        )
+        zero_only.append(zero.speedup_vs(base))
+        zero_bdc.append(bdc.speedup_vs(base))
+        speedups.append(full.speedup_vs(base))
+        core_eff.append(eff)
+    table.add_row(
+        "Geomean",
+        geomean(zero_only),
+        geomean(zero_bdc),
+        geomean(speedups),
+        geomean(core_eff),
+    )
+    return table
+
+
+def run_fig12_energy(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 12: energy breakdown (core compute/control/accum, on/off-chip)."""
+    table = Table(
+        "Fig 12: Energy breakdown, FPRaker normalized to baseline",
+        ["Model", "Compute", "Control", "Accumulation", "On-chip", "Off-chip",
+         "Total vs baseline"],
+    )
+    totals = []
+    for model in models:
+        base = _baseline(model, progress, seed)
+        full = _simulate(model, None, progress, seed)
+        fe = full.energy_total()
+        be = base.energy_total()
+        ratio = be.total / fe.total
+        table.add_row(
+            model,
+            fe.core.compute / fe.total,
+            fe.core.control / fe.total,
+            fe.core.accumulation / fe.total,
+            fe.on_chip / fe.total,
+            fe.off_chip / fe.total,
+            ratio,
+        )
+        totals.append(ratio)
+    table.add_row("Geomean", "-", "-", "-", "-", "-", geomean(totals))
+    return table
+
+
+def run_fig13_skipped(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 13: breakdown of skipped terms (zero vs out-of-bounds)."""
+    table = Table(
+        "Fig 13: Breakdown of skipped terms",
+        ["Model", "skipped fraction", "zero share", "out-of-bounds share"],
+    )
+    for model in models:
+        full = _simulate(model, None, progress, seed)
+        terms = full.counters_total().terms
+        ob_share = terms.ob_share_of_skipped()
+        table.add_row(
+            model, terms.skipped_fraction(), 1.0 - ob_share, ob_share
+        )
+    return table
+
+
+def run_fig14_phases(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 14: speedup per training phase (AxG, GxW, AxW)."""
+    table = Table(
+        "Fig 14: Speedup breakdown per training phase",
+        ["Model", "AxG", "GxW", "AxW"],
+    )
+    rows = {phase: [] for phase in PHASES}
+    for model in models:
+        base = _baseline(model, progress, seed)
+        full = _simulate(model, None, progress, seed)
+        speeds = {
+            phase: full.phase_speedup_vs(base, phase) for phase in PHASES
+        }
+        table.add_row(model, speeds["AxG"], speeds["GxW"], speeds["AxW"])
+        for phase in PHASES:
+            rows[phase].append(speeds[phase])
+    table.add_row(
+        "Geomean",
+        geomean(rows["AxG"]),
+        geomean(rows["GxW"]),
+        geomean(rows["AxW"]),
+    )
+    return table
+
+
+def run_fig15_stalls(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 15: lane-cycle breakdown (useful and the four stall kinds)."""
+    table = Table(
+        "Fig 15: Lane efficiency breakdown",
+        ["Model", "useful", "no term", "shift range", "inter-PE", "exponent"],
+    )
+    for model in models:
+        full = _simulate(model, None, progress, seed)
+        fractions = full.counters_total().lanes.fractions()
+        table.add_row(
+            model,
+            fractions["useful"],
+            fractions["no_term"],
+            fractions["shift_range"],
+            fractions["inter_pe"],
+            fractions["exponent"],
+        )
+    return table
+
+
+def run_fig16_obs_sync(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 16: effect of OB skipping on synchronization overhead."""
+    table = Table(
+        "Fig 16: Synchronization overhead with/without OB skipping (OBS)",
+        ["Model", "sync lane-cycles OBS", "sync lane-cycles no-OBS",
+         "reduction"],
+    )
+    reductions = []
+    for model in models:
+        full = _simulate(model, None, progress, seed)
+        no_obs = _simulate(model, _variant_config("zero+bdc"), progress, seed)
+        def sync_cycles(result):
+            lanes = result.counters_total().lanes
+            return lanes.no_term + lanes.shift_range + lanes.inter_pe + lanes.exponent
+        with_obs = sync_cycles(full)
+        without = sync_cycles(no_obs)
+        reduction = 1.0 - with_obs / without if without else 0.0
+        table.add_row(model, with_obs, without, reduction)
+        reductions.append(reduction)
+    table.add_row("Mean", "-", "-", float(np.mean(reductions)))
+    return table
+
+
+def run_fig17_accuracy(
+    epochs: int = 12, seed: int = 7, classes: int = 4, noise: float = 0.9
+) -> Table:
+    """Fig 17: training accuracy under fp32 / bf16 / FPRaker arithmetic.
+
+    Trains the same network from the same initialization on the same
+    batches under the three arithmetic modes; the paper's claim is that
+    the FPRaker curve tracks the bf16 baseline within noise because it
+    only skips work that cannot change the rounded result.
+    """
+    from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+    from repro.nn.network import Sequential
+
+    dataset = synthetic_images(
+        classes=classes, samples_per_class=150, size=8, noise=noise, seed=seed
+    )
+    table = Table(
+        "Fig 17: Top-1 validation accuracy by arithmetic mode",
+        ["Mode", "best accuracy", "final accuracy", "last-3 mean"],
+    )
+    curves = {}
+    for mode in ("fp32", "bf16", "fpraker"):
+        rng = np.random.default_rng(seed)
+        engine = MatmulEngine(EngineConfig(mode=mode))
+        network = Sequential(
+            [
+                Conv2d(1, 8, 3, engine, rng, padding=1, name="conv1"),
+                ReLU(),
+                MaxPool2d(2),
+                Conv2d(8, 16, 3, engine, rng, padding=1, name="conv2"),
+                ReLU(),
+                MaxPool2d(2),
+                Flatten(),
+                Dense(16 * 4, classes, engine, rng, name="fc"),
+            ]
+        )
+        trainer = Trainer(
+            network, SGD(lr=0.04, momentum=0.9), batch_size=32, seed=seed
+        )
+        history = trainer.fit(dataset, epochs=epochs)
+        curves[mode] = history.test_accuracy
+        table.add_row(
+            f"{mode}",
+            history.best_test_accuracy,
+            history.final_test_accuracy,
+            float(np.mean(history.test_accuracy[-3:])),
+        )
+    table.curves = curves  # full per-epoch curves for plotting/tests
+    return table
+
+
+def run_fig18_over_time(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    points: tuple[float, ...] = (0.05, 0.2, 0.4, 0.6, 0.8, 1.0),
+    seed: int = 0,
+) -> Table:
+    """Fig 18: speedup over the course of training."""
+    table = Table(
+        "Fig 18: Speedup over training progress",
+        ["Model"] + [f"{int(p * 100)}%" for p in points],
+    )
+    for model in models:
+        row = [model]
+        for progress in points:
+            base = _baseline(model, progress, seed)
+            full = _simulate(model, None, progress, seed)
+            row.append(full.speedup_vs(base))
+        table.add_row(*row)
+    return table
+
+
+def run_fig19_20_rows(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    rows_options: tuple[int, ...] = (2, 4, 8, 16),
+    progress: float = 0.5,
+    seed: int = 0,
+) -> tuple[Table, Table]:
+    """Figs 19/20: speedup and cycle breakdown vs rows per tile.
+
+    The total PE count is held constant: halving the rows doubles the
+    tiles, so only the synchronization structure changes.
+    """
+    speed_table = Table(
+        "Fig 19: Speedup vs rows per tile (constant total PEs)",
+        ["Model"] + [f"{r} rows" for r in rows_options],
+    )
+    stall_table = Table(
+        "Fig 20: Lane-cycle breakdown vs rows per tile (geomean models)",
+        ["Rows", "useful", "no term", "shift range", "inter-PE", "exponent"],
+    )
+    stall_sums = {r: [] for r in rows_options}
+    for model in models:
+        base = _baseline(model, progress, seed)
+        row = [model]
+        for rows in rows_options:
+            config = fpraker_paper_config()
+            tiles = config.tiles * config.tile.rows // rows
+            config = replace(
+                config,
+                tiles=tiles,
+                tile=replace(config.tile, rows=rows),
+            )
+            result = _simulate(model, config, progress, seed)
+            row.append(result.speedup_vs(base))
+            stall_sums[rows].append(result.counters_total().lanes)
+        speed_table.add_row(*row)
+    for rows in rows_options:
+        merged = {
+            key: float(np.mean([l.fractions()[key] for l in stall_sums[rows]]))
+            for key in ("useful", "no_term", "shift_range", "inter_pe", "exponent")
+        }
+        stall_table.add_row(
+            f"{rows}",
+            merged["useful"],
+            merged["no_term"],
+            merged["shift_range"],
+            merged["inter_pe"],
+            merged["exponent"],
+        )
+    return speed_table, stall_table
+
+
+def run_fig21_accwidth(
+    models: tuple[str, ...] = ("AlexNet", "ResNet18"),
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Fig 21: fixed vs per-layer profiled accumulator widths.
+
+    The profiled variants (AlexNet-P / ResNet18-P) use the Sakr et al.
+    per-layer accumulation widths; the narrower accumulators raise the
+    OB threshold's bite and FPRaker speeds up with no hardware change.
+    """
+    table = Table(
+        "Fig 21: Per-layer profiled accumulator width",
+        ["Config", "AxW", "GxW", "AxG", "Total speedup vs baseline"],
+    )
+    for model in models:
+        spec = get_model(model)
+        profile = sakr_accumulator_profile(
+            {
+                layer.name: layer.phase_reduction("AxW", spec.batch)
+                for layer in spec.layers
+            }
+        )
+        base = _baseline(model, progress, seed)
+        for label, acc_profile in ((model, None), (f"{model}-P", profile)):
+            result = _simulate(
+                model, None, progress, seed, acc_profile=acc_profile
+            )
+            table.add_row(
+                label,
+                result.phase_speedup_vs(base, "AxW"),
+                result.phase_speedup_vs(base, "GxW"),
+                result.phase_speedup_vs(base, "AxG"),
+                result.speedup_vs(base),
+            )
+    return table
+
+
+def run_pragmatic_comparison(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    progress: float = 0.5,
+    seed: int = 0,
+) -> Table:
+    """Section I: bfloat16 Bit-Pragmatic vs the bit-parallel baseline.
+
+    The paper reports Pragmatic-FP is on average 1.72x *slower* and
+    1.96x *less* energy efficient at iso compute area -- the negative
+    result motivating FPRaker's area-focused design.
+    """
+    table = Table(
+        "Bit-Pragmatic-FP vs baseline (iso compute area)",
+        ["Model", "slowdown (x)", "energy inefficiency (x)"],
+    )
+    slowdowns, inefficiencies = [], []
+    for model in models:
+        workloads = build_workloads(model, progress=progress, seed=seed)
+        base = BaselineAccelerator().simulate_workload(workloads)
+        prag = PragmaticFPAccelerator().simulate_workload(workloads)
+        slowdown = prag.cycles / base.cycles
+        inefficiency = (
+            prag.energy_total().core.total / base.energy_total().core.total
+        )
+        table.add_row(model, slowdown, inefficiency)
+        slowdowns.append(slowdown)
+        inefficiencies.append(inefficiency)
+    table.add_row("Geomean", geomean(slowdowns), geomean(inefficiencies))
+    return table

@@ -1,0 +1,111 @@
+"""Extensions beyond the paper's evaluation (its stated future work).
+
+The conclusion sketches two directions this module implements:
+
+* **precision scheduling** -- "training can start with lower precision
+  and increase the precision per epoch near convergence.  FPRaker can
+  adapt dynamically to different precisions": we sweep the accumulator
+  width over training progress and measure the speedup profile;
+* **inference** -- "while we evaluated FPRaker for training, it can
+  naturally also be used for inference": we run the forward phase alone
+  (weights static, serial side chosen freely) and compare against the
+  training-mix speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorSimulator
+from repro.core.baseline import BaselineAccelerator
+from repro.harness.report import Table, geomean
+from repro.models.zoo import STUDIED_MODELS, get_model
+from repro.traces.workloads import build_workloads
+
+
+def run_precision_schedule(
+    model: str = "ResNet18",
+    schedule: tuple[tuple[float, int], ...] = (
+        (0.1, 6),
+        (0.3, 8),
+        (0.6, 10),
+        (0.9, 12),
+    ),
+    seed: int = 0,
+) -> Table:
+    """Sweep accumulator precision over training progress.
+
+    Early training tolerates narrow accumulation (the gradient noise
+    floor is high); near convergence the width grows.  FPRaker turns
+    every width reduction into skipped out-of-bounds terms.
+
+    Args:
+        model: model to train.
+        schedule: (progress, accumulator fractional bits) pairs.
+        seed: RNG seed.
+
+    Returns:
+        Table of per-stage speedups: scheduled vs fixed 12-bit width.
+    """
+    spec = get_model(model)
+    table = Table(
+        f"Extension: precision-scheduled training of {model}",
+        ["Progress", "Acc frac bits", "Speedup (scheduled)", "Speedup (fixed 12b)"],
+    )
+    scheduled, fixed = [], []
+    for progress, frac_bits in schedule:
+        profile = {layer.name: frac_bits for layer in spec.layers}
+        base = BaselineAccelerator().simulate_workload(
+            build_workloads(model, progress=progress, seed=seed)
+        )
+        narrow = AcceleratorSimulator().simulate_workload(
+            build_workloads(
+                model, progress=progress, seed=seed, acc_profile=profile
+            )
+        )
+        wide = AcceleratorSimulator().simulate_workload(
+            build_workloads(model, progress=progress, seed=seed)
+        )
+        table.add_row(
+            f"{progress:.0%}",
+            frac_bits,
+            narrow.speedup_vs(base),
+            wide.speedup_vs(base),
+        )
+        scheduled.append(narrow.speedup_vs(base))
+        fixed.append(wide.speedup_vs(base))
+    table.add_row("Geomean", "-", geomean(scheduled), geomean(fixed))
+    return table
+
+
+def run_inference_extension(
+    models: tuple[str, ...] = ("VGG16", "ResNet18-Q", "Bert"),
+    seed: int = 0,
+) -> Table:
+    """FPRaker as an inference PE: forward phase only, converged stats.
+
+    Args:
+        models: models to evaluate.
+        seed: RNG seed.
+
+    Returns:
+        Table comparing the inference-only speedup with the
+        full-training-step speedup.
+    """
+    table = Table(
+        "Extension: FPRaker for inference (forward pass only)",
+        ["Model", "Inference speedup", "Training-step speedup"],
+    )
+    for model in models:
+        fwd = build_workloads(model, progress=1.0, phases=("AxW",), seed=seed)
+        full = build_workloads(model, progress=1.0, seed=seed)
+        base_fwd = BaselineAccelerator().simulate_workload(fwd)
+        base_full = BaselineAccelerator().simulate_workload(full)
+        fpr_fwd = AcceleratorSimulator().simulate_workload(fwd)
+        fpr_full = AcceleratorSimulator().simulate_workload(full)
+        table.add_row(
+            model,
+            fpr_fwd.speedup_vs(base_fwd),
+            fpr_full.speedup_vs(base_full),
+        )
+    return table

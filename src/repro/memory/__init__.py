@@ -1,0 +1,40 @@
+"""Memory-system substrate: containers, transposers, buffers, DRAM.
+
+Training reuses the same arrays in different orders across the three
+phases, which defeats the memory layouts inference accelerators use.
+The paper's data-supply design (Section IV-E):
+
+* arrays live off-chip in **containers** of 32x32 bfloat16 values whose
+  size matches DDR4 row granularity (:mod:`repro.memory.container`);
+* on-chip **transposers** re-order 8x8 blocks so the backward pass can
+  stream weights/gradients transposed (:mod:`repro.memory.transposer`);
+* a multi-banked **global buffer** (4 MB x 9 banks -- odd to dodge
+  stride conflicts) plus per-tile scratchpads feed the PEs
+  (:mod:`repro.memory.buffers`);
+* a 4-channel **LPDDR4-3200** model provides bandwidth and energy
+  bookkeeping (:mod:`repro.memory.dram`).
+"""
+
+from repro.memory.container import (
+    CONTAINER_SIDE,
+    Container,
+    pack_containers,
+    unpack_containers,
+    container_count,
+)
+from repro.memory.transposer import Transposer, transpose_blocks
+from repro.memory.buffers import GlobalBuffer, Scratchpad
+from repro.memory.dram import DRAMModel
+
+__all__ = [
+    "CONTAINER_SIDE",
+    "Container",
+    "pack_containers",
+    "unpack_containers",
+    "container_count",
+    "Transposer",
+    "transpose_blocks",
+    "GlobalBuffer",
+    "Scratchpad",
+    "DRAMModel",
+]

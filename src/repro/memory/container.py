@@ -1,0 +1,128 @@
+"""Off-chip containers of 32x32 bfloat16 values (paper Section IV-E).
+
+A container holds the values of coordinates ``(c, r, k)`` through
+``(c+31, r, k+31)`` of a (channel, row, column) tensor -- a 32-channel by
+32-column square at one row -- zero-padded at the edges.  Containers are
+stored in channel, column, row order, a granularity that matches DDR4
+row sizes so off-chip reads stay at streaming bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.bfloat16 import bf16_to_bits, bits_to_bf16
+
+CONTAINER_SIDE = 32
+CONTAINER_VALUES = CONTAINER_SIDE * CONTAINER_SIDE
+CONTAINER_BYTES = CONTAINER_VALUES * 2  # bfloat16
+
+
+@dataclass
+class Container:
+    """One 32x32 square of bfloat16 values.
+
+    Attributes:
+        channel: first channel coordinate (multiple of 32).
+        row: row coordinate.
+        column: first column coordinate (multiple of 32).
+        bits: uint16 array of shape ``(32, 32)``, indexed
+            ``[channel_offset, column_offset]``.
+    """
+
+    channel: int
+    row: int
+    column: int
+    bits: np.ndarray
+
+    def values(self) -> np.ndarray:
+        """Decode the container to float64 values."""
+        return bits_to_bf16(self.bits)
+
+    def read_vector(self, channel_offset: int, column_offset: int) -> np.ndarray:
+        """Read 8 consecutive channel values -- one PE operand fetch.
+
+        Args:
+            channel_offset: starting channel within the container
+                (multiple of 8).
+            column_offset: column within the container.
+
+        Returns:
+            float64 array of 8 values.
+        """
+        block = self.bits[channel_offset : channel_offset + 8, column_offset]
+        return bits_to_bf16(block)
+
+
+def container_count(shape: tuple[int, int, int]) -> int:
+    """Containers needed for a (channels, rows, columns) tensor.
+
+    Args:
+        shape: tensor dimensions.
+
+    Returns:
+        Number of 32x32 containers, including edge padding.
+    """
+    channels, rows, columns = shape
+    c_tiles = -(-channels // CONTAINER_SIDE)
+    k_tiles = -(-columns // CONTAINER_SIDE)
+    return c_tiles * rows * k_tiles
+
+
+def pack_containers(tensor: np.ndarray) -> list[Container]:
+    """Pack a (channels, rows, columns) tensor into containers.
+
+    The tensor is zero-padded so channels and columns become multiples
+    of 32, then cut into squares stored in channel, column, row order.
+
+    Args:
+        tensor: float array of shape ``(channels, rows, columns)`` with
+            bfloat16-representable values.
+
+    Returns:
+        Containers in storage order.
+    """
+    if tensor.ndim != 3:
+        raise ValueError(f"expected a 3-d tensor, got shape {tensor.shape}")
+    channels, rows, columns = tensor.shape
+    pad_c = (-channels) % CONTAINER_SIDE
+    pad_k = (-columns) % CONTAINER_SIDE
+    padded = np.pad(tensor, ((0, pad_c), (0, 0), (0, pad_k)))
+    bits = bf16_to_bits(padded)
+    containers = []
+    for c in range(0, padded.shape[0], CONTAINER_SIDE):
+        for k in range(0, padded.shape[2], CONTAINER_SIDE):
+            for r in range(rows):
+                square = bits[c : c + CONTAINER_SIDE, r, k : k + CONTAINER_SIDE]
+                containers.append(
+                    Container(channel=c, row=r, column=k, bits=square.copy())
+                )
+    return containers
+
+
+def unpack_containers(
+    containers: list[Container],
+    shape: tuple[int, int, int],
+) -> np.ndarray:
+    """Reassemble a tensor from its containers (inverse of packing).
+
+    Args:
+        containers: containers produced by :func:`pack_containers`.
+        shape: original (channels, rows, columns) dimensions.
+
+    Returns:
+        float64 array of the original shape.
+    """
+    channels, rows, columns = shape
+    pad_c = (-channels) % CONTAINER_SIDE
+    pad_k = (-columns) % CONTAINER_SIDE
+    out = np.zeros((channels + pad_c, rows, columns + pad_k))
+    for container in containers:
+        out[
+            container.channel : container.channel + CONTAINER_SIDE,
+            container.row,
+            container.column : container.column + CONTAINER_SIDE,
+        ] = container.values()
+    return out[:channels, :, :columns]

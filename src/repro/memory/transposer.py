@@ -1,0 +1,98 @@
+"""On-chip 8x8 transposer units (paper Section IV-E).
+
+The weights and activation gradients must be streamed in transposed
+order during one of the backward operations.  A transposer reads 8
+blocks of 8 bfloat16 values (8-value-wide reads from the on-chip
+buffers), writes them as rows of an internal 8x8 buffer, and reads the
+buffer back out column by column -- transposing the 8x8 group with no
+wide crossbar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+class Transposer:
+    """One transposer unit with its 8x8 internal buffer.
+
+    Usage mirrors the hardware protocol: ``write_row`` eight times, then
+    ``read_column`` eight times.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = np.zeros((BLOCK, BLOCK))
+        self._rows_written = 0
+        self.reads = 0
+        self.writes = 0
+
+    def write_row(self, values: np.ndarray) -> None:
+        """Load one 8-value block as the next internal row.
+
+        Args:
+            values: 8 values from an 8-value-wide buffer read.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (BLOCK,):
+            raise ValueError(f"expected a block of {BLOCK} values, got {values.shape}")
+        if self._rows_written >= BLOCK:
+            raise RuntimeError("internal buffer full: read columns out first")
+        self._buffer[self._rows_written] = values
+        self._rows_written += 1
+        self.writes += 1
+
+    def read_column(self, column: int) -> np.ndarray:
+        """Read one column of the internal buffer -- a transposed block.
+
+        Args:
+            column: column index in ``[0, 8)``.
+
+        Returns:
+            float64 array of 8 values.
+        """
+        if self._rows_written < BLOCK:
+            raise RuntimeError(
+                f"only {self._rows_written}/{BLOCK} rows written; fill first"
+            )
+        if not 0 <= column < BLOCK:
+            raise ValueError(f"column must be in [0, {BLOCK}), got {column}")
+        self.reads += 1
+        return self._buffer[:, column].copy()
+
+    def drain(self) -> np.ndarray:
+        """Read all columns in order and reset for the next group.
+
+        Returns:
+            The transposed 8x8 block.
+        """
+        out = np.stack([self.read_column(c) for c in range(BLOCK)])
+        self._rows_written = 0
+        return out
+
+
+def transpose_blocks(matrix: np.ndarray) -> np.ndarray:
+    """Transpose a matrix through 8x8 transposer passes.
+
+    Functionally equivalent to ``matrix.T`` for dimensions that are
+    multiples of 8, but exercised through the hardware protocol; used to
+    validate that the data-supply path can feed the backward pass.
+
+    Args:
+        matrix: 2-d array whose dimensions are multiples of 8.
+
+    Returns:
+        The transposed matrix.
+    """
+    rows, cols = matrix.shape
+    if rows % BLOCK or cols % BLOCK:
+        raise ValueError(f"dimensions must be multiples of {BLOCK}, got {matrix.shape}")
+    out = np.zeros((cols, rows))
+    unit = Transposer()
+    for r0 in range(0, rows, BLOCK):
+        for c0 in range(0, cols, BLOCK):
+            for r in range(BLOCK):
+                unit.write_row(matrix[r0 + r, c0 : c0 + BLOCK])
+            out[c0 : c0 + BLOCK, r0 : r0 + BLOCK] = unit.drain()
+    return out

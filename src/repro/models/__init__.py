@@ -1,0 +1,25 @@
+"""Model zoo: the layer geometries of the paper's studied workloads.
+
+Table I of the paper studies nine models spanning image classification,
+NLP, detection, recommendation and translation, plus AlexNet/ResNet18
+for the accumulator-width study.  We encode each model as a list of
+representative layer shapes (with multiplicities for repeated stages),
+from which exact MAC counts, reduction lengths and tensor footprints
+follow.
+"""
+
+from repro.models.zoo import (
+    LayerShape,
+    ModelSpec,
+    MODEL_ZOO,
+    STUDIED_MODELS,
+    get_model,
+)
+
+__all__ = [
+    "LayerShape",
+    "ModelSpec",
+    "MODEL_ZOO",
+    "STUDIED_MODELS",
+    "get_model",
+]

@@ -1,0 +1,419 @@
+"""Layer geometries of the studied models (paper Table I).
+
+Each model is a list of :class:`LayerShape` entries.  Repeated stages
+fold into one entry with a ``count`` so simulation stays tractable while
+MAC totals remain exact for the encoded architecture.  Dimensions follow
+the published architectures at their standard input sizes
+(ImageNet 224x224 for the convnets, sequence length 128 for BERT,
+the papers' hidden sizes elsewhere).
+
+Three phases of training work derive from every layer (paper eqs. 1-3);
+:meth:`LayerShape.phase_macs` / :meth:`LayerShape.phase_reduction` give
+each phase's MAC count and reduction length, and the byte helpers feed
+the off-chip traffic model in :mod:`repro.traces.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One (possibly repeated) MAC layer of a model.
+
+    Conv layers describe ``out = in * W`` with ``in_channels`` x
+    ``kernel``^2 reductions over ``out_h x out_w`` positions; fully
+    connected layers use ``kernel=1`` and ``out_h = out_w = 1``.
+
+    Attributes:
+        name: stage name.
+        kind: ``"conv"`` or ``"fc"``.
+        in_channels: input channels (fc: input features).
+        out_channels: output channels (fc: output features).
+        kernel: square kernel size (fc: 1).
+        out_h: output height (fc: 1).
+        out_w: output width (fc: 1).
+        in_h: input height (fc: 1).
+        in_w: input width (fc: 1).
+        count: identical layers folded into this entry.
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel: int = 1
+    out_h: int = 1
+    out_w: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    count: int = 1
+
+    @property
+    def reduction(self) -> int:
+        """Dot-product length of the forward pass."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def macs_per_sample(self) -> int:
+        """Forward MACs per input sample."""
+        return self.reduction * self.out_channels * self.out_h * self.out_w
+
+    @property
+    def weight_elems(self) -> int:
+        """Weight tensor size."""
+        return self.reduction * self.out_channels
+
+    @property
+    def input_elems(self) -> int:
+        """Input activation size per sample."""
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def output_elems(self) -> int:
+        """Output activation size per sample."""
+        return self.out_channels * self.out_h * self.out_w
+
+    def phase_macs(self, phase: str, batch: int) -> int:
+        """MAC count of one training phase (all ``count`` copies).
+
+        Args:
+            phase: ``"AxW"``, ``"GxW"`` or ``"AxG"``.
+            batch: mini-batch size.
+
+        Returns:
+            Total MACs.
+        """
+        if phase not in ("AxW", "GxW", "AxG"):
+            raise ValueError(f"unknown phase {phase!r}")
+        return self.macs_per_sample * batch * self.count
+
+    def phase_reduction(self, phase: str, batch: int) -> int:
+        """Dot-product length of one training phase.
+
+        Args:
+            phase: ``"AxW"`` (reduce over input channels x kernel),
+                ``"GxW"`` (reduce over output channels x kernel) or
+                ``"AxG"`` (reduce over batch x output positions).
+            batch: mini-batch size.
+
+        Returns:
+            The reduction length.
+        """
+        if phase == "AxW":
+            return self.reduction
+        if phase == "GxW":
+            return self.out_channels * self.kernel * self.kernel
+        if phase == "AxG":
+            return max(1, self.out_h * self.out_w * batch)
+        raise ValueError(f"unknown phase {phase!r}")
+
+    def input_bytes(self, batch: int) -> float:
+        """Input-activation bytes of all copies at a batch size."""
+        return 2.0 * self.input_elems * batch * self.count
+
+    def output_bytes(self, batch: int) -> float:
+        """Output-activation bytes of all copies at a batch size."""
+        return 2.0 * self.output_elems * batch * self.count
+
+    def weight_bytes(self) -> float:
+        """Weight bytes of all copies."""
+        return 2.0 * self.weight_elems * self.count
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One studied model.
+
+    Attributes:
+        name: model name as in Table I.
+        application: task (Table I's "Application" column).
+        dataset: training dataset (Table I's "Dataset" column).
+        batch: mini-batch size used for trace-style workloads.
+        layers: representative layer shapes.
+    """
+
+    name: str
+    application: str
+    dataset: str
+    batch: int
+    layers: tuple[LayerShape, ...]
+
+    @property
+    def total_macs_per_step(self) -> int:
+        """MACs of one full training step (all three phases)."""
+        return sum(
+            layer.phase_macs(phase, self.batch)
+            for layer in self.layers
+            for phase in ("AxW", "GxW", "AxG")
+        )
+
+    @property
+    def total_activation_bytes(self) -> float:
+        """Forward activations a training step must keep for backward."""
+        return sum(layer.output_bytes(self.batch) for layer in self.layers)
+
+
+def _conv(name, cin, cout, k, out_hw, in_hw=None, count=1):
+    out_h, out_w = (out_hw, out_hw) if isinstance(out_hw, int) else out_hw
+    if in_hw is None:
+        in_h, in_w = out_h, out_w
+    else:
+        in_h, in_w = (in_hw, in_hw) if isinstance(in_hw, int) else in_hw
+    return LayerShape(
+        name=name,
+        kind="conv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel=k,
+        out_h=out_h,
+        out_w=out_w,
+        in_h=in_h,
+        in_w=in_w,
+        count=count,
+    )
+
+
+def _fc(name, fin, fout, count=1):
+    return LayerShape(
+        name=name, kind="fc", in_channels=fin, out_channels=fout, count=count
+    )
+
+
+_SQUEEZENET = ModelSpec(
+    name="SqueezeNet 1.1",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=(
+        _conv("conv1", 3, 64, 3, 111, in_hw=224),
+        _conv("fire2-3.squeeze", 128, 16, 1, 55, count=2),
+        _conv("fire2-3.expand1x1", 16, 64, 1, 55, count=2),
+        _conv("fire2-3.expand3x3", 16, 64, 3, 55, count=2),
+        _conv("fire4-5.squeeze", 256, 32, 1, 27, count=2),
+        _conv("fire4-5.expand1x1", 32, 128, 1, 27, count=2),
+        _conv("fire4-5.expand3x3", 32, 128, 3, 27, count=2),
+        _conv("fire6-9.squeeze", 384, 48, 1, 13, count=4),
+        _conv("fire6-9.expand1x1", 48, 192, 1, 13, count=4),
+        _conv("fire6-9.expand3x3", 48, 192, 3, 13, count=4),
+        _conv("conv10", 512, 1000, 1, 13),
+    ),
+)
+
+_VGG16 = ModelSpec(
+    name="VGG16",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=(
+        _conv("conv1_x", 3, 64, 3, 224),
+        _conv("conv1_2", 64, 64, 3, 224),
+        _conv("conv2_x", 64, 128, 3, 112),
+        _conv("conv2_2", 128, 128, 3, 112),
+        _conv("conv3_1", 128, 256, 3, 56),
+        _conv("conv3_x", 256, 256, 3, 56, count=2),
+        _conv("conv4_1", 256, 512, 3, 28),
+        _conv("conv4_x", 512, 512, 3, 28, count=2),
+        _conv("conv5_x", 512, 512, 3, 14, count=3),
+        _fc("fc6", 25088, 4096),
+        _fc("fc7", 4096, 4096),
+        _fc("fc8", 4096, 1000),
+    ),
+)
+
+_RESNET18Q = ModelSpec(
+    name="ResNet18-Q",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=(
+        _conv("conv1", 3, 64, 7, 112, in_hw=224),
+        _conv("layer1", 64, 64, 3, 56, count=4),
+        _conv("layer2.down", 64, 128, 3, 28, in_hw=56),
+        _conv("layer2", 128, 128, 3, 28, count=3),
+        _conv("layer3.down", 128, 256, 3, 14, in_hw=28),
+        _conv("layer3", 256, 256, 3, 14, count=3),
+        _conv("layer4.down", 256, 512, 3, 7, in_hw=14),
+        _conv("layer4", 512, 512, 3, 7, count=3),
+        _fc("fc", 512, 1000),
+    ),
+)
+
+_RESNET50S2 = ModelSpec(
+    name="ResNet50-S2",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=(
+        _conv("conv1", 3, 64, 7, 112, in_hw=224),
+        _conv("layer1.reduce", 64, 64, 1, 56, count=3),
+        _conv("layer1.conv3x3", 64, 64, 3, 56, count=3),
+        _conv("layer1.expand", 64, 256, 1, 56, count=3),
+        _conv("layer2.conv3x3", 128, 128, 3, 28, count=4),
+        _conv("layer2.expand", 128, 512, 1, 28, count=4),
+        _conv("layer3.conv3x3", 256, 256, 3, 14, count=6),
+        _conv("layer3.expand", 256, 1024, 1, 14, count=6),
+        _conv("layer4.conv3x3", 512, 512, 3, 7, count=3),
+        _conv("layer4.expand", 512, 2048, 1, 7, count=3),
+        _fc("fc", 2048, 1000),
+    ),
+)
+
+_SNLI = ModelSpec(
+    name="SNLI",
+    application="Natural Language Inference",
+    dataset="SNLI Corpus",
+    batch=512,  # sentence pairs x tokens: matmul rows are timesteps
+    layers=(
+        # Embedding projection, LSTM encoder gates (4 gates x hidden),
+        # and the classifier MLP of the Bowman et al. architecture.
+        _fc("embed_proj", 300, 512),
+        _fc("lstm.input_gates", 512, 2048, count=2),
+        _fc("lstm.hidden_gates", 512, 2048, count=2),
+        _fc("mlp", 2048, 1024),
+        _fc("mlp2", 1024, 1024, count=2),
+        _fc("classifier", 1024, 3),
+    ),
+)
+
+_IMAGE2TEXT = ModelSpec(
+    name="Image2Text",
+    application="Image-to-Text Conversion",
+    dataset="im2latex-100k",
+    batch=64,  # images; decoder matmul rows are timesteps x batch
+    layers=(
+        # CNN encoder of the im2markup architecture...
+        _conv("enc.conv1", 1, 64, 3, (64, 256)),
+        _conv("enc.conv2", 64, 128, 3, (32, 128)),
+        _conv("enc.conv3", 128, 256, 3, (16, 64), count=2),
+        _conv("enc.conv5", 256, 512, 3, (8, 32), count=2),
+        # ...and the LSTM decoder with attention.
+        _fc("dec.lstm_input", 512, 2048, count=2),
+        _fc("dec.lstm_hidden", 512, 2048, count=2),
+        _fc("dec.attention", 512, 512, count=2),
+        _fc("dec.vocab", 512, 500),
+    ),
+)
+
+_DETECTRON2 = ModelSpec(
+    name="Detectron2",
+    application="Object Detection",
+    dataset="COCO",
+    batch=8,
+    layers=(
+        # Mask R-CNN R50-FPN: ResNet50 backbone at 800x800-ish inputs...
+        _conv("backbone.conv1", 3, 64, 7, 400, in_hw=800),
+        _conv("backbone.res2", 64, 64, 3, 200, count=3),
+        _conv("backbone.res3", 128, 128, 3, 100, count=4),
+        _conv("backbone.res4", 256, 256, 3, 50, count=6),
+        _conv("backbone.res5", 512, 512, 3, 25, count=3),
+        # ...FPN laterals and heads.
+        _conv("fpn.lateral", 1024, 256, 1, 50, count=4),
+        _conv("fpn.output", 256, 256, 3, 50, count=4),
+        _conv("rpn.head", 256, 256, 3, 50),
+        _fc("roi.box_head", 12544, 1024),
+        _fc("roi.box_head2", 1024, 1024),
+        _conv("mask.head", 256, 256, 3, 14, count=4),
+    ),
+)
+
+_NCF = ModelSpec(
+    name="NCF",
+    application="Recommendation",
+    dataset="ml-20m",
+    batch=4096,  # NCF trains with very large user-item batches
+    layers=(
+        # NeuMF: GMF + MLP towers over user/item embeddings.
+        _fc("embed_fusion", 256, 256),
+        _fc("mlp1", 256, 128),
+        _fc("mlp2", 128, 64),
+        _fc("mlp3", 64, 32),
+        _fc("predict", 64, 1),
+    ),
+)
+
+_BERT = ModelSpec(
+    name="Bert",
+    application="Language Translation",
+    dataset="WMT17",
+    batch=512,  # 4 sequences x 128 tokens: matmul rows are tokens
+    layers=(
+        # BERT-base, per encoder layer (12 of them): QKV projections,
+        # attention output, and the feed-forward block.
+        _fc("attn.qkv", 768, 2304, count=12),
+        _fc("attn.output", 768, 768, count=12),
+        _fc("ffn.intermediate", 768, 3072, count=12),
+        _fc("ffn.output", 3072, 768, count=12),
+        _fc("pooler", 768, 768),
+    ),
+)
+
+_ALEXNET = ModelSpec(
+    name="AlexNet",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=(
+        _conv("conv1", 3, 64, 11, 55, in_hw=224),
+        _conv("conv2", 64, 192, 5, 27),
+        _conv("conv3", 192, 384, 3, 13),
+        _conv("conv4", 384, 256, 3, 13),
+        _conv("conv5", 256, 256, 3, 13),
+        _fc("fc6", 9216, 4096),
+        _fc("fc7", 4096, 4096),
+        _fc("fc8", 4096, 1000),
+    ),
+)
+
+_RESNET18 = ModelSpec(
+    name="ResNet18",
+    application="Image Classification",
+    dataset="ImageNet",
+    batch=32,
+    layers=_RESNET18Q.layers,
+)
+
+MODEL_ZOO: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        _SQUEEZENET,
+        _VGG16,
+        _RESNET50S2,
+        _RESNET18Q,
+        _SNLI,
+        _IMAGE2TEXT,
+        _DETECTRON2,
+        _NCF,
+        _BERT,
+        _ALEXNET,
+        _RESNET18,
+    )
+}
+
+# The nine models of Table I, in the paper's figure order.
+STUDIED_MODELS = (
+    "SqueezeNet 1.1",
+    "VGG16",
+    "ResNet50-S2",
+    "ResNet18-Q",
+    "SNLI",
+    "Image2Text",
+    "Detectron2",
+    "NCF",
+    "Bert",
+)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look a model up by its Table I name.
+
+    Args:
+        name: model name.
+
+    Returns:
+        The :class:`ModelSpec`.
+    """
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[name]

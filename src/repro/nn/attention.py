@@ -1,0 +1,161 @@
+"""Multi-head self-attention with explicit backpropagation.
+
+BERT in the paper is attention MACs: the Q/K/V projections, the
+attention-weighted value mix, and the output projection.  All of them
+route through the shared arithmetic engine, so transformer-style
+training also runs under emulated FPRaker arithmetic -- completing the
+substrate coverage of Table I's model families (conv, fc, LSTM,
+attention).
+
+The layer consumes ``(batch, time, features)`` and returns the same
+shape (one encoder block's attention sub-layer, without the residual /
+norm wrappers, which are element-wise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.fpmath import MatmulEngine
+from repro.nn.functional import softmax
+from repro.nn.layers import Layer
+
+
+class MultiHeadSelfAttention(Layer):
+    """Scaled dot-product self-attention with ``heads`` heads.
+
+    Args:
+        features: model width (must divide by ``heads``).
+        heads: attention heads.
+        engine: shared arithmetic engine.
+        rng: initializer RNG.
+    """
+
+    def __init__(
+        self,
+        features: int,
+        heads: int,
+        engine: MatmulEngine,
+        rng: np.random.Generator,
+        name: str = "attention",
+    ) -> None:
+        if features % heads:
+            raise ValueError(f"{features} features not divisible by {heads} heads")
+        self.name = name
+        self.engine = engine
+        self.features = features
+        self.heads = heads
+        self.head_dim = features // heads
+        scale = np.sqrt(1.0 / features)
+        self.w_qkv = rng.normal(0.0, scale, (features, 3 * features))
+        self.w_out = rng.normal(0.0, scale, (features, features))
+        self.w_qkv_grad = np.zeros_like(self.w_qkv)
+        self.w_out_grad = np.zeros_like(self.w_out)
+        self._cache: tuple | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch*time, features) -> (batch, heads, time, head_dim)."""
+        batch, time = self._bt
+        return x.reshape(batch, time, self.heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, heads, time, head_dim) -> (batch*time, features)."""
+        batch, time = self._bt
+        return x.transpose(0, 2, 1, 3).reshape(batch * time, self.features)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.features:
+            raise ValueError(
+                f"expected (batch, time, {self.features}), got {x.shape}"
+            )
+        batch, time, _ = x.shape
+        self._bt = (batch, time)
+        x_flat = self.engine.quantize_tensor(x.reshape(batch * time, -1))
+        w_qkv = self.engine.quantize_tensor(self.w_qkv)
+        qkv = self.engine.matmul(x_flat, w_qkv)
+        q, k, v = np.split(qkv, 3, axis=1)
+        q_h = self._split_heads(q)
+        k_h = self._split_heads(k)
+        v_h = self._split_heads(v)
+        # Attention scores head by head through the engine.
+        scores = np.empty((batch, self.heads, time, time))
+        for b in range(batch):
+            for h in range(self.heads):
+                scores[b, h] = self.engine.matmul(q_h[b, h], k_h[b, h].T)
+        scores /= np.sqrt(self.head_dim)
+        weights = softmax(scores.reshape(-1, time)).reshape(scores.shape)
+        mixed = np.empty_like(q_h)
+        for b in range(batch):
+            for h in range(self.heads):
+                mixed[b, h] = self.engine.matmul(weights[b, h], v_h[b, h])
+        mixed_flat = self._merge_heads(mixed)
+        w_out = self.engine.quantize_tensor(self.w_out)
+        out = self.engine.matmul(mixed_flat, w_out)
+        if training:
+            self._cache = (x_flat, q_h, k_h, v_h, weights, mixed_flat)
+        return out.reshape(batch, time, self.features)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        batch, time = self._bt
+        x_flat, q_h, k_h, v_h, weights, mixed_flat = self._cache
+        grad_flat = self.engine.quantize_tensor(
+            grad_out.reshape(batch * time, self.features)
+        )
+        w_out = self.engine.quantize_tensor(self.w_out)
+        self.w_out_grad = self.engine.matmul(mixed_flat.T, grad_flat)
+        d_mixed = self._split_heads(self.engine.matmul(grad_flat, w_out.T))
+        d_q = np.empty_like(q_h)
+        d_k = np.empty_like(k_h)
+        d_v = np.empty_like(v_h)
+        inv_sqrt = 1.0 / np.sqrt(self.head_dim)
+        for b in range(batch):
+            for h in range(self.heads):
+                d_weights = self.engine.matmul(d_mixed[b, h], v_h[b, h].T)
+                d_v[b, h] = self.engine.matmul(weights[b, h].T, d_mixed[b, h])
+                # Softmax Jacobian, row-wise.
+                w_row = weights[b, h]
+                d_scores = w_row * (
+                    d_weights - (d_weights * w_row).sum(axis=1, keepdims=True)
+                )
+                d_scores *= inv_sqrt
+                d_q[b, h] = self.engine.matmul(d_scores, k_h[b, h])
+                d_k[b, h] = self.engine.matmul(d_scores.T, q_h[b, h])
+        d_qkv = np.concatenate(
+            [self._merge_heads(d) for d in (d_q, d_k, d_v)], axis=1
+        )
+        w_qkv = self.engine.quantize_tensor(self.w_qkv)
+        self.w_qkv_grad = self.engine.matmul(x_flat.T, d_qkv)
+        grad_x = self.engine.matmul(d_qkv, w_qkv.T)
+        return grad_x.reshape(batch, time, self.features)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.w_qkv, self.w_qkv_grad), (self.w_out, self.w_out_grad)]
+
+    def traced_tensors(self) -> dict[str, np.ndarray]:
+        traced = {
+            "W": np.concatenate([self.w_qkv.ravel(), self.w_out.ravel()])
+        }
+        if self._cache is not None:
+            traced["I"] = self._cache[0].copy()
+        return traced
+
+
+class MeanPool(Layer):
+    """Mean over the time axis: ``(batch, time, f) -> (batch, f)``."""
+
+    name = "meanpool"
+
+    def __init__(self) -> None:
+        self._time = 0
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._time = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        expanded = np.repeat(grad_out[:, None, :], self._time, axis=1)
+        return expanded / self._time

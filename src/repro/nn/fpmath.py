@@ -1,0 +1,208 @@
+"""Arithmetic-mode matmul engine: fp32, bf16 baseline, FPRaker emulation.
+
+The ``bf16`` and ``fpraker`` modes implement, vectorized over whole
+matrices, exactly the arithmetic of the golden accumulator and of the
+FPRaker PE functional model:
+
+1. operands quantize to bfloat16 (RNE, no denormals);
+2. the reduction proceeds in groups of 8 exact products;
+3. per group, the round's maximum exponent ``emax`` is the largest
+   product exponent ``Ae+Be`` or the accumulator's exponent;
+4. every participant aligns (RNE) onto the grid ``2^(emax - 12)``, the
+   aligned values add, and the accumulator renormalizes to its 12
+   fractional bits with RNE;
+5. every 64 MACs the accumulator flushes into an fp32 outer sum
+   (chunk-based accumulation, Sakr et al.).
+
+``fpraker`` differs from ``bf16`` in one place only, mirroring the
+hardware: each product's serial-side significand is the sum of its CSD
+terms, and terms whose aligned position falls below the accumulator's
+reach are *dropped* (out-of-bounds skipping) before the lane's value is
+rounded onto the grid.  The emulation uses a partial-CSD lookup table,
+so it is exact with respect to the PE functional model -- the test
+suite checks both modes against the scalar references element by
+element.
+
+All float64 intermediates are exact: bfloat16 products need 16
+significand bits and the aligned sums under 20, far inside float64's 52.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.booth import partial_csd_sum
+from repro.fp.bfloat16 import bf16_fields, bf16_quantize
+from repro.fp.softfloat import round_significand
+
+_MODES = ("fp64", "fp32", "bf16", "fpraker")
+_ZERO_OPERAND_EXP = -127
+_PRODUCT_FRAC_BITS = 14
+# Accumulator exponent sentinel for zero: far below any product.
+_EACC_ZERO = -(1 << 24)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Matmul arithmetic configuration.
+
+    Attributes:
+        mode: ``"fp64"`` (exact reference), ``"fp32"``, ``"bf16"`` or
+            ``"fpraker"``.
+        acc_frac_bits: accumulator fractional bits (paper: 12); also the
+            out-of-bounds threshold in ``fpraker`` mode.
+        chunk_size: MACs per chunk before flushing to fp32 (paper: 64).
+        group: MACs per accumulation round (paper: 8, one PE group).
+    """
+
+    mode: str = "fp32"
+    acc_frac_bits: int = 12
+    chunk_size: int = 64
+    group: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {_MODES}")
+        if self.chunk_size % self.group:
+            raise ValueError("chunk_size must be a multiple of group")
+
+
+class MatmulEngine:
+    """Performs every MAC of the training framework under one mode.
+
+    Args:
+        config: arithmetic configuration (default: native fp32).
+    """
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+
+    @property
+    def mode(self) -> str:
+        """Active arithmetic mode."""
+        return self.config.mode
+
+    def quantize_tensor(self, values: np.ndarray) -> np.ndarray:
+        """Quantize a tensor as it would be written to memory.
+
+        bf16/fpraker modes store activations, weights and gradients in
+        bfloat16; fp32 mode stores float32.
+
+        Args:
+            values: tensor of any shape.
+
+        Returns:
+            Quantized float64 array.
+        """
+        if self.config.mode == "fp64":
+            return np.asarray(values, dtype=np.float64)
+        if self.config.mode == "fp32":
+            return np.asarray(values, dtype=np.float32).astype(np.float64)
+        return bf16_quantize(values)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product ``a @ b`` under the configured arithmetic.
+
+        Args:
+            a: left matrix ``[M, K]``.
+            b: right matrix ``[K, N]``.
+
+        Returns:
+            float64 array ``[M, N]`` of mode-accurate results.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"bad matmul shapes: {a.shape} @ {b.shape}")
+        if self.config.mode == "fp64":
+            return a @ b
+        if self.config.mode == "fp32":
+            return (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float64)
+        return self._matmul_emulated(a, b, fpraker=self.config.mode == "fpraker")
+
+    def _matmul_emulated(
+        self, a: np.ndarray, b: np.ndarray, fpraker: bool
+    ) -> np.ndarray:
+        """Group-wise emulation of the extended-precision accumulation."""
+        cfg = self.config
+        aq = bf16_quantize(a)
+        bq = bf16_quantize(b)
+        m_rows, k_dim = aq.shape
+        n_cols = bq.shape[1]
+        # Bit fields, computed once: significands with hidden bit,
+        # hardware-visible exponents (-127 for zeros), sign masks.
+        a_sign, a_exp, a_man, a_zero = bf16_fields(aq)
+        b_sign, b_exp, b_man, b_zero = bf16_fields(bq)
+        a_exp = np.where(a_zero, _ZERO_OPERAND_EXP, a_exp)
+        b_exp = np.where(b_zero, _ZERO_OPERAND_EXP, b_exp)
+        outer = np.zeros((m_rows, n_cols), dtype=np.float64)
+        acc = np.zeros((m_rows, n_cols), dtype=np.float64)
+        macs_in_chunk = 0
+        for k0 in range(0, k_dim, cfg.group):
+            k1 = min(k0 + cfg.group, k_dim)
+            abe = a_exp[:, k0:k1, None] + b_exp[None, k0:k1, :]
+            acc_exp = _leading_exponent(acc)
+            emax = np.maximum(abe.max(axis=1), acc_exp)
+            grid = np.ldexp(1.0, (emax - cfg.acc_frac_bits).astype(np.int64))
+            if fpraker:
+                products = self._kept_products(
+                    a_sign[:, k0:k1],
+                    a_man[:, k0:k1],
+                    b_sign[k0:k1],
+                    b_man[k0:k1],
+                    abe,
+                    emax,
+                )
+            else:
+                products = aq[:, k0:k1, None] * bq[None, k0:k1, :]
+            aligned = np.rint(products / grid[:, None, :]) * grid[:, None, :]
+            acc_aligned = np.rint(acc / grid) * grid
+            acc = round_significand(
+                aligned.sum(axis=1) + acc_aligned, cfg.acc_frac_bits
+            )
+            macs_in_chunk += k1 - k0
+            if macs_in_chunk >= cfg.chunk_size:
+                outer = (outer + acc).astype(np.float32).astype(np.float64)
+                acc = np.zeros_like(acc)
+                macs_in_chunk = 0
+        return (outer + acc).astype(np.float32).astype(np.float64)
+
+    def _kept_products(
+        self,
+        a_sign: np.ndarray,
+        a_man: np.ndarray,
+        b_sign: np.ndarray,
+        b_man: np.ndarray,
+        abe: np.ndarray,
+        emax: np.ndarray,
+    ) -> np.ndarray:
+        """Products with out-of-bounds CSD terms of the A side dropped.
+
+        A term at digit position ``p`` of the serial significand has
+        alignment offset ``k = (emax - ABe) + (7 - p)``; the PE skips it
+        when ``k`` exceeds the accumulator's fractional width, i.e. when
+        ``p < (emax - ABe) - (acc_frac_bits - 7 - (7 - ...))`` -- for the
+        paper's 12-bit accumulator, ``p < s - 5`` with ``s = emax - ABe``.
+        """
+        s = emax[:, None, :] - abe
+        pmin = s - (self.config.acc_frac_bits - _BF16_FRAC)
+        kept_man = partial_csd_sum(
+            np.broadcast_to(a_man[:, :, None], s.shape), pmin
+        )
+        sign = np.where(a_sign[:, :, None] ^ b_sign[None, :, :], -1.0, 1.0)
+        magnitude = kept_man.astype(np.float64) * b_man[None, :, :].astype(
+            np.float64
+        )
+        return sign * np.ldexp(magnitude, abe - _PRODUCT_FRAC_BITS)
+
+
+_BF16_FRAC = 7
+
+
+def _leading_exponent(values: np.ndarray) -> np.ndarray:
+    """Leading binary exponent per element (zero -> far-below sentinel)."""
+    magnitude = np.abs(values)
+    _, exp = np.frexp(magnitude)
+    return np.where(magnitude > 0.0, exp.astype(np.int64) - 1, _EACC_ZERO)

@@ -1,0 +1,124 @@
+"""Stateless tensor functions: im2col, softmax, cross-entropy.
+
+Convolutions lower to matrix multiplication through im2col so that every
+MAC of the network flows through the arithmetic engine, exactly like the
+paper's PlaidML ``mad()`` override.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW input patches into a matrix.
+
+    Args:
+        x: input of shape ``(batch, channels, height, width)``.
+        kernel: square kernel size.
+        stride: convolution stride.
+        padding: zero padding on each side.
+
+    Returns:
+        ``(columns, out_h, out_w)`` where ``columns`` has shape
+        ``(batch * out_h * out_w, channels * kernel * kernel)``.
+    """
+    batch, channels, height, width = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # (batch, out_h, out_w, channels*kernel*kernel)
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold patch-gradient columns back onto the input (im2col adjoint).
+
+    Args:
+        columns: gradient matrix shaped like :func:`im2col` output.
+        x_shape: original input shape ``(batch, channels, height, width)``.
+        kernel: square kernel size.
+        stride: convolution stride.
+        padding: zero padding used in the forward pass.
+
+    Returns:
+        Input gradient of shape ``x_shape``.
+    """
+    batch, channels, height, width = x_shape
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+    out_h = (padded_h - kernel) // stride + 1
+    out_w = (padded_w - kernel) // stride + 1
+    grad = np.zeros((batch, channels, padded_h, padded_w))
+    cols = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for i in range(kernel):
+        for j in range(kernel):
+            grad[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding:
+        grad = grad[:, :, padding:-padding, padding:-padding]
+    return grad
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-subtraction stabilization.
+
+    Args:
+        logits: array ``(batch, classes)``.
+
+    Returns:
+        Probabilities of the same shape.
+    """
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: array ``(batch, classes)``.
+        labels: int array ``(batch,)`` of class indices.
+
+    Returns:
+        ``(loss, grad)`` where ``grad`` has the logits' shape.
+    """
+    batch = logits.shape[0]
+    probs = softmax(logits)
+    clipped = np.clip(probs[np.arange(batch), labels], 1e-12, None)
+    loss = float(-np.log(clipped).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy.
+
+    Args:
+        logits: array ``(batch, classes)``.
+        labels: int array ``(batch,)``.
+
+    Returns:
+        Fraction of correct predictions.
+    """
+    return float(np.mean(logits.argmax(axis=1) == labels))

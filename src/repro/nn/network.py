@@ -1,0 +1,66 @@
+"""Network container: a sequential stack of layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A feed-forward stack of layers sharing one arithmetic engine.
+
+    Args:
+        layers: layers in execution order.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run the forward pass.
+
+        Args:
+            x: network input.
+            training: keep caches for backward.
+
+        Returns:
+            Network output (logits).
+        """
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Run the backward pass, filling every layer's gradients.
+
+        Args:
+            grad: loss gradient w.r.t. the network output.
+
+        Returns:
+            Gradient w.r.t. the network input.
+        """
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """All (parameter, gradient) pairs in layer order."""
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def traced_tensors(self) -> dict[str, dict[str, np.ndarray]]:
+        """Per-layer I/W/G tensors captured during the last step.
+
+        Returns:
+            Mapping ``layer_name -> {"I"|"W"|"G" -> tensor}`` for layers
+            that trace (MAC layers).
+        """
+        traces: dict[str, dict[str, np.ndarray]] = {}
+        for index, layer in enumerate(self.layers):
+            tensors = layer.traced_tensors()
+            if tensors:
+                traces[f"{index}:{layer.name}"] = tensors
+        return traces

@@ -1,0 +1,47 @@
+"""Optimizers for the training framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum.
+
+    Parameter updates happen in the master precision (float64 here,
+    standing in for the fp32 master weights mixed-precision training
+    keeps), matching how the paper's baselines train.
+
+    Args:
+        lr: learning rate.
+        momentum: momentum coefficient (0 disables).
+        weight_decay: L2 penalty coefficient.
+    """
+
+    def __init__(
+        self, lr: float = 0.01, momentum: float = 0.9, weight_decay: float = 0.0
+    ) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply one update to every (parameter, gradient) pair in place.
+
+        Args:
+            parameters: pairs from ``Sequential.parameters()``.
+        """
+        for param, grad in parameters:
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            if self.momentum:
+                key = id(param)
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity + update
+                self._velocity[key] = velocity
+                update = velocity
+            param -= self.lr * update

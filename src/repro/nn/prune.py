@@ -1,0 +1,80 @@
+"""Training-time pruning (dynamic sparse reparameterization stand-in).
+
+ResNet50-S2 in the paper trains with dynamic sparse reparameterization
+(Mostafa & Wang): a target weight sparsity is *maintained throughout
+training* by pruning small weights and regrowing elsewhere.  For trace
+purposes what matters is that the weight tensor keeps a high, roughly
+constant zero fraction at every epoch, which this magnitude
+prune-and-regrow hook provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense
+from repro.nn.network import Sequential
+
+
+def prune_by_magnitude(w: np.ndarray, sparsity: float) -> np.ndarray:
+    """Zero the smallest-magnitude fraction of a tensor.
+
+    Args:
+        w: weight tensor.
+        sparsity: target zero fraction in [0, 1).
+
+    Returns:
+        Boolean keep-mask of the same shape.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if sparsity == 0.0:
+        return np.ones_like(w, dtype=bool)
+    k = int(w.size * sparsity)
+    if k == 0:
+        return np.ones_like(w, dtype=bool)
+    threshold = np.partition(np.abs(w).ravel(), k - 1)[k - 1]
+    return np.abs(w) > threshold
+
+
+@dataclass
+class MagnitudePruner:
+    """Epoch hook maintaining weight sparsity during training.
+
+    Attributes:
+        sparsity: zero fraction to maintain.
+        regrow_fraction: fraction of pruned slots randomly released each
+            epoch (the "reparameterization" part -- weights may migrate).
+        seed: RNG seed for regrowth.
+    """
+
+    sparsity: float = 0.5
+    regrow_fraction: float = 0.05
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, epoch: int, network: Sequential) -> None:
+        """Prune-and-regrow all MAC-layer weights in place (epoch hook)."""
+        for layer in network.layers:
+            if not isinstance(layer, (Dense, Conv2d)):
+                continue
+            keep = prune_by_magnitude(layer.weight, self.sparsity)
+            if self.regrow_fraction > 0.0:
+                release = self._rng.random(keep.shape) < self.regrow_fraction
+                keep |= release
+            layer.weight[...] = layer.weight * keep
+
+    def measured_sparsity(self, network: Sequential) -> float:
+        """Current zero fraction over all MAC-layer weights."""
+        zeros = 0
+        total = 0
+        for layer in network.layers:
+            if isinstance(layer, (Dense, Conv2d)):
+                zeros += int((layer.weight == 0.0).sum())
+                total += layer.weight.size
+        return zeros / total if total else 0.0

@@ -1,0 +1,171 @@
+"""Training loop, metrics history, and trace capture.
+
+The :class:`TraceRecorder` plays the role of the paper's PyTorch
+forward/backward hooks: it snapshots every MAC layer's input, weight and
+output-gradient tensors at chosen epochs, quantized to bfloat16 as they
+would be stored in the accelerator's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fp.bfloat16 import bf16_quantize
+from repro.nn.data import SyntheticDataset
+from repro.nn.functional import accuracy, cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics of one training run.
+
+    Attributes:
+        train_loss: mean training loss per epoch.
+        train_accuracy: training accuracy per epoch.
+        test_accuracy: held-out accuracy per epoch.
+    """
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        """Last epoch's held-out accuracy."""
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+    @property
+    def best_test_accuracy(self) -> float:
+        """Best held-out accuracy over the run."""
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+
+@dataclass
+class TraceRecorder:
+    """Capture per-layer I/W/G tensors at chosen epochs.
+
+    Attributes:
+        epochs: epochs to capture (empty: capture nothing).
+        snapshots: ``epoch -> layer -> tensor-name -> bfloat16 values``.
+    """
+
+    epochs: tuple[int, ...] = ()
+    snapshots: dict[int, dict[str, dict[str, np.ndarray]]] = field(
+        default_factory=dict
+    )
+
+    def maybe_capture(self, epoch: int, network: Sequential) -> None:
+        """Capture the network's traced tensors if this epoch is watched.
+
+        Args:
+            epoch: current epoch index.
+            network: the network, right after a backward pass.
+        """
+        if epoch not in self.epochs:
+            return
+        snapshot: dict[str, dict[str, np.ndarray]] = {}
+        for layer_name, tensors in network.traced_tensors().items():
+            snapshot[layer_name] = {
+                name: bf16_quantize(values) for name, values in tensors.items()
+            }
+        self.snapshots[epoch] = snapshot
+
+    def tensor_across_layers(self, epoch: int, name: str) -> np.ndarray:
+        """Concatenate one tensor kind over all layers of a snapshot.
+
+        Args:
+            epoch: captured epoch.
+            name: ``"I"``, ``"W"`` or ``"G"``.
+
+        Returns:
+            1-d array of all captured values of that kind.
+        """
+        parts = [
+            tensors[name].ravel()
+            for tensors in self.snapshots[epoch].values()
+            if name in tensors
+        ]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+
+class Trainer:
+    """Mini-batch SGD training driver.
+
+    Args:
+        network: the model.
+        optimizer: parameter updater.
+        batch_size: mini-batch size.
+        seed: RNG seed for batch shuffling (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        optimizer: SGD,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+
+    def evaluate(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a dataset split.
+
+        Args:
+            inputs: input tensor.
+            labels: int labels.
+
+        Returns:
+            Top-1 accuracy.
+        """
+        logits = self.network.forward(inputs, training=False)
+        return accuracy(logits, labels)
+
+    def fit(
+        self,
+        dataset: SyntheticDataset,
+        epochs: int,
+        recorder: TraceRecorder | None = None,
+        hooks: list | None = None,
+    ) -> TrainingHistory:
+        """Train for a number of epochs.
+
+        Args:
+            dataset: train/test data.
+            epochs: epochs to run.
+            recorder: optional trace capture.
+            hooks: optional callables ``hook(epoch, network)`` run after
+                each epoch (quantizers, pruners).
+
+        Returns:
+            The :class:`TrainingHistory`.
+        """
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            losses = []
+            accuracies = []
+            for batch_x, batch_y in dataset.batches(self.batch_size, self.rng):
+                logits = self.network.forward(batch_x, training=True)
+                loss, grad = cross_entropy(logits, batch_y)
+                self.network.backward(grad)
+                self.optimizer.step(self.network.parameters())
+                losses.append(loss)
+                accuracies.append(accuracy(logits, batch_y))
+            if recorder is not None:
+                recorder.maybe_capture(epoch, self.network)
+            for hook in hooks or []:
+                hook(epoch, self.network)
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(float(np.mean(accuracies)))
+            history.test_accuracy.append(
+                self.evaluate(dataset.test_x, dataset.test_y)
+            )
+        return history

@@ -1,0 +1,100 @@
+"""Real-trace capture: train a small model and extract its tensors.
+
+This is the offline stand-in for the paper's PyTorch hooks on a GPU: a
+genuine training run of the from-scratch framework, with per-layer
+input/weight/gradient tensors snapshotted at chosen epochs.  It serves
+two purposes: cross-checking that the synthetic generator produces the
+kind of value structure real training yields, and supplying the real
+exponent histograms of Fig 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import synthetic_images
+from repro.nn.fpmath import EngineConfig, MatmulEngine
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.training import TraceRecorder, Trainer, TrainingHistory
+
+
+@dataclass
+class CapturedTraces:
+    """Traces of one real training run.
+
+    Attributes:
+        history: training metrics.
+        recorder: per-epoch tensor snapshots.
+        epochs: the captured epochs.
+    """
+
+    history: TrainingHistory
+    recorder: TraceRecorder
+    epochs: tuple[int, ...]
+
+    def tensor(self, epoch: int, name: str) -> np.ndarray:
+        """All captured values of one tensor kind at one epoch.
+
+        Args:
+            epoch: captured epoch.
+            name: ``"I"``, ``"W"`` or ``"G"``.
+
+        Returns:
+            Flat array of bfloat16 values.
+        """
+        return self.recorder.tensor_across_layers(epoch, name)
+
+
+def _small_convnet(engine: MatmulEngine, rng: np.random.Generator) -> Sequential:
+    """The capture model: a ResNet-flavored small CNN."""
+    return Sequential(
+        [
+            Conv2d(1, 16, 3, engine, rng, padding=1, name="conv1"),
+            ReLU(),
+            Conv2d(16, 16, 3, engine, rng, padding=1, name="conv2"),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(16, 32, 3, engine, rng, padding=1, name="conv3"),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(32 * 2 * 2, 4, engine, rng, name="fc"),
+        ]
+    )
+
+
+def capture_training_traces(
+    epochs: int = 8,
+    capture_epochs: tuple[int, ...] | None = None,
+    mode: str = "fp32",
+    seed: int = 0,
+) -> CapturedTraces:
+    """Train the capture model and snapshot its tensors.
+
+    Args:
+        epochs: training epochs.
+        capture_epochs: epochs to snapshot (default: first and last).
+        mode: arithmetic mode of the engine.
+        seed: seed for data, init and batching.
+
+    Returns:
+        The :class:`CapturedTraces`.
+    """
+    if capture_epochs is None:
+        capture_epochs = (0, epochs - 1)
+    rng = np.random.default_rng(seed)
+    engine = MatmulEngine(EngineConfig(mode=mode))
+    network = _small_convnet(engine, rng)
+    dataset = synthetic_images(
+        classes=4, samples_per_class=150, size=8, noise=0.6, seed=seed
+    )
+    trainer = Trainer(network, SGD(lr=0.05, momentum=0.9), batch_size=32, seed=seed)
+    recorder = TraceRecorder(epochs=tuple(capture_epochs))
+    history = trainer.fit(dataset, epochs=epochs, recorder=recorder)
+    return CapturedTraces(
+        history=history, recorder=recorder, epochs=tuple(capture_epochs)
+    )

@@ -1,0 +1,161 @@
+"""Assemble simulator workloads from the zoo and the calibrations."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.workload import PHASES, PhaseWorkload
+from repro.models.zoo import LayerShape, ModelSpec, get_model
+from repro.traces.calibration import ModelCalibration
+from repro.traces.evolution import calibration_at
+from repro.traces.synthetic import generate_tensor
+
+# Tensor letters participating in each phase, (first, second).
+PHASE_TENSORS = {
+    "AxW": ("A", "W"),
+    "GxW": ("G", "W"),
+    "AxG": ("A", "G"),
+}
+
+# Global-buffer partition budgets (the paper's 4 MB x 9 banks, split over
+# activation / gradient / weight partitions).  Tensors that fit stay
+# on-chip and cause no DRAM traffic; tensors that spill stream off-chip
+# (and get base-delta compressed on the way).
+ACTIVATION_BUFFER_BYTES = 12 * 1024 * 1024
+GRADIENT_BUFFER_BYTES = 12 * 1024 * 1024
+
+
+def _phase_traffic(
+    model: ModelSpec, layer: LayerShape, phase: str
+) -> tuple[float, float]:
+    """Off-chip (input_bytes, output_bytes) of one layer-phase.
+
+    Traffic rules:
+
+    * weights always stream from DRAM (the model store), and weight
+      gradients stream back to it (the optimizer consumes them);
+    * forward activations must persist until the backward pass, so they
+      spill whenever the model's total activation footprint exceeds the
+      activation partition -- the usual case for ImageNet-scale convnets
+      at batch size 32, and the reason the paper compresses layer
+      outputs before writing them off-chip;
+    * activation gradients are transient (consumed by the next backward
+      layer), so they spill only when a single layer's gradient exceeds
+      the gradient partition.
+    """
+    spill_acts = model.total_activation_bytes > ACTIVATION_BUFFER_BYTES
+    per_copy_out = layer.output_bytes(model.batch) / layer.count
+    per_copy_in = layer.input_bytes(model.batch) / layer.count
+    spill_grad_out = per_copy_out > GRADIENT_BUFFER_BYTES
+    spill_grad_in = per_copy_in > GRADIENT_BUFFER_BYTES
+    in_act = layer.input_bytes(model.batch)
+    out_act = layer.output_bytes(model.batch)
+    w_bytes = layer.weight_bytes()
+    if phase == "AxW":
+        input_bytes = w_bytes + (in_act if spill_acts else 0.0)
+        output_bytes = out_act if spill_acts else 0.0
+    elif phase == "GxW":
+        input_bytes = w_bytes + (out_act if spill_grad_out else 0.0)
+        output_bytes = in_act if spill_grad_in else 0.0
+    elif phase == "AxG":
+        input_bytes = (in_act if spill_acts else 0.0) + (
+            out_act if spill_grad_out else 0.0
+        )
+        output_bytes = w_bytes
+    else:
+        raise ValueError(f"unknown phase {phase!r}")
+    return input_bytes, output_bytes
+
+
+def build_phase_workload(
+    model: ModelSpec,
+    layer: LayerShape,
+    phase: str,
+    calibration: ModelCalibration,
+    sample_size: int = 8192,
+    seed: int = 0,
+    acc_frac_bits: int | None = None,
+) -> PhaseWorkload:
+    """Build one simulator workload for (layer, phase).
+
+    Args:
+        model: the model spec.
+        layer: the layer shape.
+        phase: training phase.
+        calibration: tensor statistics to draw from.
+        sample_size: values sampled per tensor.
+        seed: RNG seed.
+        acc_frac_bits: optional per-layer accumulator width.
+
+    Returns:
+        The :class:`PhaseWorkload`.
+    """
+    if phase not in PHASES:
+        raise ValueError(f"unknown phase {phase!r}")
+    tensor_a, tensor_b = PHASE_TENSORS[phase]
+    macs = layer.phase_macs(phase, model.batch)
+    reduction = layer.phase_reduction(phase, model.batch)
+    input_bytes, output_bytes = _phase_traffic(model, layer, phase)
+    tag = f"{model.name}/{layer.name}/{phase}".encode()
+    rng = np.random.default_rng((seed, zlib.crc32(tag)))
+    values_a = generate_tensor(calibration.for_tensor(tensor_a), sample_size, rng)
+    values_b = generate_tensor(calibration.for_tensor(tensor_b), sample_size, rng)
+    return PhaseWorkload(
+        model=model.name,
+        layer=layer.name,
+        phase=phase,
+        macs=macs,
+        reduction=reduction,
+        tensor_a=tensor_a,
+        tensor_b=tensor_b,
+        values_a=values_a,
+        values_b=values_b,
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        acc_frac_bits=acc_frac_bits,
+    )
+
+
+def build_workloads(
+    model_name: str,
+    progress: float = 0.5,
+    phases: tuple[str, ...] = PHASES,
+    sample_size: int = 8192,
+    seed: int = 0,
+    acc_profile: dict[str, int] | None = None,
+) -> list[PhaseWorkload]:
+    """Build the full training-step workload of a model.
+
+    Args:
+        model_name: Table I model name.
+        progress: training progress in [0, 1] (affects the statistics,
+            paper Fig 18).
+        phases: phases to include (default: all three).
+        sample_size: values sampled per tensor per layer.
+        seed: RNG seed.
+        acc_profile: optional per-layer accumulator widths
+            (``layer name -> frac bits``, paper Fig 21).
+
+    Returns:
+        One :class:`PhaseWorkload` per (layer, phase).
+    """
+    model = get_model(model_name)
+    calibration = calibration_at(model_name, progress)
+    workloads = []
+    for layer in model.layers:
+        frac_bits = acc_profile.get(layer.name) if acc_profile else None
+        for phase in phases:
+            workloads.append(
+                build_phase_workload(
+                    model,
+                    layer,
+                    phase,
+                    calibration,
+                    sample_size=sample_size,
+                    seed=seed,
+                    acc_frac_bits=frac_bits,
+                )
+            )
+    return workloads

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.fp.bfloat16 import bf16_quantize
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def bf16_vector(rng):
+    """A bfloat16-exact vector with zeros sprinkled in."""
+    values = rng.normal(0.0, 2.0, 64)
+    values[rng.random(64) < 0.2] = 0.0
+    return bf16_quantize(values)
+
+
+@pytest.fixture
+def bf16_pairs(rng):
+    """Two bfloat16-exact operand groups of 8 (one PE group)."""
+    a = bf16_quantize(rng.normal(0.0, 1.0, 8))
+    b = bf16_quantize(rng.normal(0.0, 4.0, 8))
+    return a, b

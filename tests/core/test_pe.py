@@ -1,0 +1,209 @@
+"""Tests for the FPRaker PE functional model (bit-faithful arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PEConfig
+from repro.core.pe import FPRakerPE
+from repro.fp.accumulator import (
+    AccumulatorSpec,
+    ExtendedAccumulator,
+    exact_product,
+)
+from repro.fp.bfloat16 import bf16_quantize
+
+
+def _reference(a, b, spec=None):
+    acc = ExtendedAccumulator(spec)
+    acc.accumulate([exact_product(x, y) for x, y in zip(a, b)])
+    return acc.value()
+
+
+class TestExactness:
+    def test_matches_reference_without_ob(self, rng):
+        """With OB skipping off, the PE is bit-identical to the golden
+        accumulator on every group."""
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        for _ in range(300):
+            a = bf16_quantize(rng.normal(0, 2, 8))
+            b = bf16_quantize(rng.normal(0, 2, 8))
+            pe.reset()
+            pe.process_group(a, b)
+            assert pe.value() == _reference(a, b)
+
+    def test_matches_reference_with_zeros(self, rng):
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        for _ in range(200):
+            a = bf16_quantize(rng.normal(0, 2, 8))
+            b = bf16_quantize(rng.normal(0, 2, 8))
+            a[rng.random(8) < 0.4] = 0.0
+            b[rng.random(8) < 0.4] = 0.0
+            pe.reset()
+            pe.process_group(a, b)
+            assert pe.value() == _reference(a, b)
+
+    def test_matches_reference_wide_exponents(self, rng):
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        for _ in range(200):
+            a = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-30, 30, 8))
+            b = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-30, 30, 8))
+            pe.reset()
+            pe.process_group(a, b)
+            assert pe.value() == _reference(a, b)
+
+    def test_ob_skipping_error_bounded(self, rng):
+        """OB skipping may only drop terms beyond the accumulator's
+        reach: the result differs from the reference by at most a few
+        grid units of the round."""
+        spec = AccumulatorSpec()
+        for _ in range(300):
+            a = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-8, 8, 8))
+            b = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-8, 8, 8))
+            pe = FPRakerPE(PEConfig(ob_skip=True))
+            pe.process_group(a, b)
+            reference = _reference(a, b)
+            products = [x * y for x, y in zip(a, b) if x * y != 0.0]
+            if not products:
+                assert pe.value() == reference
+                continue
+            emax = int(np.floor(np.log2(max(abs(p) for p in products)))) + 1
+            grid = 2.0 ** (emax - spec.frac_bits)
+            # Each lane's dropped tail is under ~2 grid units.
+            assert abs(pe.value() - reference) <= 16 * grid
+
+    def test_ob_agrees_when_nothing_skippable(self, rng):
+        """Same-magnitude operands leave nothing out of bounds."""
+        for _ in range(100):
+            a = bf16_quantize(rng.uniform(1.0, 2.0, 8))
+            b = bf16_quantize(rng.uniform(1.0, 2.0, 8))
+            pe = FPRakerPE(PEConfig(ob_skip=True))
+            trace = pe.process_group(a, b)
+            assert trace.terms_ob_skipped == 0
+            assert pe.value() == _reference(a, b)
+
+
+class TestAccumulationAcrossGroups:
+    def test_multi_group_reduction(self, rng):
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        ref = ExtendedAccumulator()
+        a = bf16_quantize(rng.normal(0, 1, 64))
+        b = bf16_quantize(rng.normal(0, 1, 64))
+        for i in range(0, 64, 8):
+            pe.process_group(a[i : i + 8], b[i : i + 8])
+            ref.accumulate(
+                [exact_product(x, y) for x, y in zip(a[i : i + 8], b[i : i + 8])]
+            )
+            assert pe.value() == ref.value()
+
+    def test_read_bf16(self):
+        pe = FPRakerPE()
+        pe.process_group([1.5], [2.0])
+        assert pe.read_bf16() == 3.0
+
+
+class TestWorkAccounting:
+    def test_zero_serial_operand_has_no_terms(self):
+        pe = FPRakerPE()
+        trace = pe.process_group([0.0] * 8, [1.0] * 8)
+        assert trace.terms_processed == 0
+        assert trace.terms_zero_skipped == 64
+        assert trace.cycles == 1
+
+    def test_zero_parallel_operand_still_consumes_terms_without_ob(self):
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        trace = pe.process_group([1.0] * 8, [0.0] * 8)
+        assert trace.terms_processed == 8  # one term per A value
+        assert pe.value() == 0.0
+
+    def test_zero_parallel_operand_ob_skips(self):
+        """With OB on, a zero B drives the product exponent to the
+        floor, so every term of that lane is out of bounds."""
+        pe = FPRakerPE(PEConfig(ob_skip=True))
+        trace = pe.process_group([1.0, 1.0], [0.0, 1.0])
+        assert trace.terms_ob_skipped >= 1
+        assert pe.value() == 1.0
+
+    def test_term_conservation(self, rng):
+        for _ in range(100):
+            a = bf16_quantize(rng.normal(0, 2, 8))
+            a[rng.random(8) < 0.3] = 0.0
+            b = bf16_quantize(rng.normal(0, 2, 8))
+            pe = FPRakerPE()
+            trace = pe.process_group(a, b)
+            total = (
+                trace.terms_processed
+                + trace.terms_zero_skipped
+                + trace.terms_ob_skipped
+            )
+            assert total == 8 * 8  # TERM_SLOTS per lane
+
+    def test_lane_cycle_conservation(self, rng):
+        for _ in range(100):
+            a = bf16_quantize(rng.normal(0, 2, 8))
+            b = bf16_quantize(rng.normal(0, 2, 8))
+            pe = FPRakerPE()
+            trace = pe.process_group(a, b)
+            for lane in range(8):
+                busy = (
+                    trace.lane_useful[lane]
+                    + trace.lane_shift[lane]
+                    + trace.lane_no_term[lane]
+                )
+                assert busy == trace.cycles
+
+    def test_useful_equals_terms_processed(self, rng):
+        for _ in range(100):
+            a = bf16_quantize(rng.normal(0, 2, 8))
+            b = bf16_quantize(rng.normal(0, 2, 8))
+            pe = FPRakerPE()
+            trace = pe.process_group(a, b)
+            assert sum(trace.lane_useful) == trace.terms_processed
+
+
+class TestValidation:
+    def test_lane_count_mismatch(self):
+        pe = FPRakerPE()
+        with pytest.raises(ValueError):
+            pe.process_group([1.0, 2.0], [1.0])
+
+    def test_too_many_lanes(self):
+        pe = FPRakerPE()
+        with pytest.raises(ValueError):
+            pe.process_group([1.0] * 9, [1.0] * 9)
+
+    def test_partial_group_allowed(self):
+        pe = FPRakerPE()
+        pe.process_group([1.0, 2.0], [3.0, 4.0])
+        assert pe.value() == 11.0
+
+
+class TestShiftWindowTiming:
+    def test_tight_values_fast(self):
+        """Identical operands fire all lanes together: cycles = terms."""
+        pe = FPRakerPE()
+        trace = pe.process_group([1.0] * 8, [1.0] * 8)
+        assert trace.cycles == 1  # single term, all lanes in one round
+
+    def test_spread_values_slow(self):
+        """Exponent spread beyond the window serializes base rounds."""
+        a = [1.0, 2.0**6, 1.0, 2.0**6, 1.0, 2.0**6, 1.0, 2.0**6]
+        pe = FPRakerPE()
+        trace = pe.process_group(a, [1.0] * 8)
+        assert trace.cycles >= 2
+        assert sum(trace.lane_shift) > 0
+
+    def test_wider_window_never_slower(self, rng):
+        for _ in range(50):
+            a = bf16_quantize(rng.normal(0, 4, 8))
+            b = bf16_quantize(rng.normal(0, 4, 8))
+            narrow = FPRakerPE(PEConfig(shift_window=1)).process_group(a, b)
+            wide = FPRakerPE(PEConfig(shift_window=8)).process_group(a, b)
+            assert wide.cycles <= narrow.cycles
+
+    def test_ob_never_slower(self, rng):
+        for _ in range(100):
+            a = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-6, 6, 8))
+            b = bf16_quantize(rng.normal(0, 1, 8) * 2.0 ** rng.integers(-6, 6, 8))
+            with_ob = FPRakerPE(PEConfig(ob_skip=True)).process_group(a, b)
+            without = FPRakerPE(PEConfig(ob_skip=False)).process_group(a, b)
+            assert with_ob.cycles <= without.cycles

@@ -1,0 +1,160 @@
+"""Tests for canonical signed-digit encoding and its lookup tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.booth import (
+    csd_decode,
+    csd_encode,
+    partial_csd_sum,
+    term_count,
+    term_positions,
+    term_sparsity,
+    terms_of_value,
+    value_sparsity,
+)
+from repro.encoding.terms import MAX_TERMS, TERM_SLOTS, Term
+from repro.fp.bfloat16 import bf16_quantize
+
+
+class TestCsdEncode:
+    def test_zero(self):
+        assert csd_encode(0) == []
+
+    def test_power_of_two(self):
+        terms = csd_encode(128)
+        assert terms == [Term(power=7, sign=1)]
+
+    def test_paper_style_example(self):
+        # 1.875 * 128 = 240 = 0b11110000 -> CSD: +2^8 - 2^4.
+        terms = csd_encode(240)
+        assert terms == [Term(power=8, sign=1), Term(power=4, sign=-1)]
+
+    def test_roundtrip_exhaustive(self):
+        for v in range(512):
+            assert csd_decode(csd_encode(v)) == v
+
+    def test_nonadjacency_exhaustive(self):
+        """Canonical form: no two adjacent nonzero digits."""
+        for v in range(512):
+            powers = [t.power for t in csd_encode(v)]
+            assert all(a - b >= 2 for a, b in zip(powers, powers[1:]))
+
+    def test_msb_first_order(self):
+        for v in range(256):
+            powers = [t.power for t in csd_encode(v)]
+            assert powers == sorted(powers, reverse=True)
+
+    def test_max_terms_bound(self):
+        assert max(len(csd_encode(v)) for v in range(256)) == MAX_TERMS
+
+    def test_minimality_vs_binary(self):
+        """CSD never uses more nonzero digits than plain binary."""
+        for v in range(256):
+            assert len(csd_encode(v)) <= bin(v).count("1")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            csd_encode(-1)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_large(self, v):
+        assert csd_decode(csd_encode(v)) == v
+
+
+class TestTermsOfValue:
+    def test_zero_has_no_terms(self):
+        assert terms_of_value(0.0) == []
+
+    def test_one(self):
+        # 1.0 -> significand 128 -> single term 2^7 (value 2^0).
+        terms = terms_of_value(1.0)
+        assert len(terms) == 1
+        assert terms[0].exponent_offset == 0
+
+    def test_terms_reconstruct_significand(self, rng):
+        values = bf16_quantize(rng.normal(0, 4, 200))
+        for x in values:
+            if x == 0.0:
+                continue
+            total = sum(t.value() for t in terms_of_value(x))
+            _, exp = np.frexp(abs(x))
+            assert total * 2.0 ** (int(exp) - 1) == abs(x)
+
+
+class TestVectorizedLuts:
+    def test_term_count_matches_scalar(self, bf16_vector):
+        counts = term_count(bf16_vector)
+        for x, c in zip(bf16_vector, counts):
+            assert c == len(terms_of_value(float(x)))
+
+    def test_term_positions_match_scalar(self, bf16_vector):
+        count, power, sign = term_positions(bf16_vector)
+        for i, x in enumerate(bf16_vector):
+            terms = terms_of_value(float(x))
+            assert count[i] == len(terms)
+            for j, t in enumerate(terms):
+                assert power[i, j] == t.power
+                assert sign[i, j] == t.sign
+            # Padding past count is blanked.
+            assert np.all(power[i, count[i] :] == -1)
+            assert np.all(sign[i, count[i] :] == 0)
+
+    def test_shapes(self, rng):
+        values = bf16_quantize(rng.normal(0, 1, (4, 5)))
+        count, power, sign = term_positions(values)
+        assert count.shape == (4, 5)
+        assert power.shape == (4, 5, MAX_TERMS)
+
+
+class TestPartialCsdSum:
+    def test_full_cutoff_reconstructs(self):
+        for v in range(256):
+            assert partial_csd_sum(np.array([v]), np.array([0]))[0] == v
+
+    def test_everything_dropped(self):
+        for v in range(0, 256, 17):
+            assert partial_csd_sum(np.array([v]), np.array([10]))[0] == 0
+
+    def test_matches_bruteforce_exhaustive(self):
+        for v in range(256):
+            terms = csd_encode(v)
+            for pmin in range(11):
+                expected = sum(
+                    t.sign * (1 << t.power) for t in terms if t.power >= pmin
+                )
+                assert partial_csd_sum(np.array([v]), np.array([pmin]))[0] == expected
+
+    def test_cutoff_clipping(self):
+        assert partial_csd_sum(np.array([255]), np.array([-5]))[0] == 255
+        assert partial_csd_sum(np.array([255]), np.array([99]))[0] == 0
+
+    def test_partial_error_bounded(self):
+        """Dropping terms below pmin perturbs by less than 2^pmin * 4/3."""
+        for v in range(256):
+            for pmin in range(9):
+                kept = partial_csd_sum(np.array([v]), np.array([pmin]))[0]
+                assert abs(int(kept) - v) < (1 << pmin) * 2
+
+
+class TestSparsityMetrics:
+    def test_term_sparsity_all_zero(self):
+        assert term_sparsity(np.zeros(10)) == 1.0
+
+    def test_term_sparsity_range(self, bf16_vector):
+        ts = term_sparsity(bf16_vector)
+        assert 0.0 <= ts <= 1.0
+
+    def test_term_sparsity_math(self):
+        # A single value 1.0 has 1 term out of 8 slots.
+        assert term_sparsity(np.array([1.0])) == 1.0 - 1.0 / TERM_SLOTS
+
+    def test_value_sparsity(self):
+        assert value_sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+
+    def test_empty(self):
+        assert term_sparsity(np.zeros(0)) == 0.0
+        assert value_sparsity(np.zeros(0)) == 0.0

@@ -1,0 +1,105 @@
+"""Tests pinning the energy/area model to its Table III calibration."""
+
+import pytest
+
+from repro.core.stats import LaneLedger, SimCounters, TermLedger
+from repro.energy.model import TABLE3, AreaModel, CoreEnergy, EnergyBreakdown, EnergyModel
+
+
+class TestTable3Constants:
+    def test_area_ratio(self):
+        assert TABLE3.area_ratio == pytest.approx(0.22, abs=0.01)
+
+    def test_power_ratio(self):
+        ratio = TABLE3.fpraker_tile_power / TABLE3.baseline_tile_power
+        assert ratio == pytest.approx(0.23, abs=0.01)
+
+    def test_iso_area_tiles(self):
+        area = AreaModel()
+        assert area.iso_area_tiles(8) == 36
+        assert area.iso_area_pragmatic_tiles(8) == 20
+
+
+class TestBaselineEnergy:
+    def test_per_mac_constant_from_power(self):
+        """The baseline per-MAC energy must follow from its measured
+        power: 475 mW / 600 MHz / 512 MACs-per-cycle = 1.546 pJ."""
+        model = EnergyModel()
+        derived = (
+            TABLE3.baseline_tile_power
+            / 1e3
+            / (TABLE3.clock_mhz * 1e6)
+            / 512
+            * 1e12
+        )
+        assert model.baseline_mac_pj == pytest.approx(derived, rel=0.01)
+
+    def test_core_energy_scales_with_macs(self):
+        model = EnergyModel()
+        one = model.baseline_core_energy(1e6).total
+        two = model.baseline_core_energy(2e6).total
+        assert two == pytest.approx(2 * one)
+
+
+class TestFPRakerEnergyCalibration:
+    def _busy_tile_counters(self, cycles_per_group=3.0, terms_per_group=8.0):
+        """Counters of one tile running flat out for one second."""
+        cycles = TABLE3.clock_mhz * 1e6  # one second of cycles
+        pes = 64
+        groups = pes * cycles / cycles_per_group
+        counters = SimCounters(
+            cycles=cycles,
+            groups=groups,
+            macs=groups * 8,
+            lanes=LaneLedger(useful=pes * cycles * 8),  # lane-cycles
+            terms=TermLedger(processed=groups * terms_per_group),
+            exponent_invocations=groups,
+            accumulator_updates=groups,
+        )
+        return counters
+
+    def test_tile_power_matches_table3(self):
+        """A tile at the paper's average activity (~3 cycles/group, ~8
+        terms/group) must dissipate its measured 109.5 mW within a
+        reasonable band."""
+        model = EnergyModel()
+        counters = self._busy_tile_counters()
+        energy_nj = model.fpraker_core_energy(counters).total
+        watts = energy_nj * 1e-9  # nJ over one second
+        assert watts * 1e3 == pytest.approx(TABLE3.fpraker_tile_power, rel=0.35)
+
+    def test_efficiency_improves_with_term_sparsity(self):
+        """Fewer terms -> less compute energy for the same MACs."""
+        model = EnergyModel()
+        dense = model.fpraker_core_energy(
+            self._busy_tile_counters(terms_per_group=20.0)
+        ).total
+        sparse = model.fpraker_core_energy(
+            self._busy_tile_counters(terms_per_group=4.0)
+        ).total
+        assert sparse < dense
+
+    def test_split_is_positive(self):
+        model = EnergyModel()
+        core = model.fpraker_core_energy(self._busy_tile_counters())
+        assert core.compute > 0 and core.control > 0 and core.accumulation > 0
+
+
+class TestMemoryEnergies:
+    def test_on_chip(self):
+        model = EnergyModel()
+        assert model.on_chip_energy(1000.0) == pytest.approx(2.5)
+
+    def test_off_chip(self):
+        model = EnergyModel()
+        # 1 kB at 4 pJ/bit = 32 nJ.
+        assert model.off_chip_energy(1000.0) == pytest.approx(32.0)
+
+
+class TestBreakdownContainer:
+    def test_add(self):
+        a = EnergyBreakdown(core=CoreEnergy(compute=1.0), on_chip=2.0)
+        b = EnergyBreakdown(core=CoreEnergy(control=3.0), off_chip=4.0)
+        a.add(b)
+        assert a.total == 10.0
+        assert a.core.total == 4.0

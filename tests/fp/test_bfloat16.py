@@ -1,0 +1,57 @@
+"""Tests for bfloat16 helpers and raw-bit conversions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bfloat16 import bf16_fields, bf16_quantize, bf16_to_bits, bits_to_bf16
+
+
+class TestBitConversions:
+    def test_known_patterns(self):
+        # 1.0 = 0x3F80, -2.0 = 0xC000, 0.0 = 0x0000.
+        bits = bf16_to_bits(np.array([1.0, -2.0, 0.0]))
+        assert list(bits) == [0x3F80, 0xC000, 0x0000]
+
+    def test_roundtrip_random(self, rng):
+        values = bf16_quantize(rng.normal(0, 50, 5000))
+        assert np.array_equal(bits_to_bf16(bf16_to_bits(values)), values)
+
+    def test_all_normal_bit_patterns_roundtrip(self):
+        # Every positive normal bfloat16: exponent fields 1..254.
+        bits = np.arange(0x0080, 0x7F80, dtype=np.uint16)
+        values = bits_to_bf16(bits)
+        assert np.array_equal(bf16_to_bits(values), bits)
+
+    def test_negative_zero(self):
+        assert bf16_to_bits(np.array([-0.0]))[0] == 0x8000
+
+
+class TestFields:
+    def test_field_reconstruction(self, rng):
+        values = bf16_quantize(rng.normal(0, 3, 1000))
+        sign, exp, man, is_zero = bf16_fields(values)
+        live = ~is_zero
+        rebuilt = np.where(sign == 1, -1.0, 1.0) * np.ldexp(
+            man.astype(np.float64), exp - 7
+        )
+        assert np.allclose(rebuilt[live], values[live], rtol=0, atol=0)
+
+    def test_significand_has_hidden_bit(self, bf16_vector):
+        _, _, man, is_zero = bf16_fields(bf16_vector)
+        assert np.all((man[~is_zero] >= 128) & (man[~is_zero] <= 255))
+
+    @given(st.floats(min_value=-1e20, max_value=1e20, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_bits_consistent(self, x):
+        q = bf16_quantize(x)
+        assert float(bits_to_bf16(bf16_to_bits(q))) == float(q)
+
+
+class TestQuantizeDefaults:
+    def test_saturates_by_default(self):
+        out = bf16_quantize(1e40)
+        assert np.isfinite(out)
+
+    def test_inf_mode(self):
+        assert np.isinf(bf16_quantize(1e40, overflow="inf"))

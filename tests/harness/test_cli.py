@@ -1,0 +1,30 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig11", "table3", "pragmatic"):
+            assert name in out
+
+    def test_run_static_table(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "Tiles" in capsys.readouterr().out
+
+    def test_run_with_model_filter(self, capsys):
+        assert main(["run", "fig1", "--models", "NCF"]) == 0
+        out = capsys.readouterr().out
+        assert "NCF" in out
+        assert "VGG16" not in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_every_registered_experiment_is_callable(self):
+        for func in EXPERIMENTS.values():
+            assert callable(func)

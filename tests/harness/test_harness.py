@@ -1,0 +1,90 @@
+"""Tests for the report tables and quick experiment runs."""
+
+import pytest
+
+from repro.harness.report import Table, format_cell, geomean
+from repro.harness.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_fig1_sparsity,
+    run_fig2_potential,
+    run_fig10_compression,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("T", ["a", "b"])
+        table.add_row("x", 1.5)
+        text = table.render()
+        assert "T" in text and "x" in text and "1.5" in text
+
+    def test_row_width_validation(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_column_extraction(self):
+        table = Table("T", ["a", "b"])
+        table.add_row("x", 1.0)
+        table.add_row("y", 2.0)
+        assert table.column("b") == [1.0, 2.0]
+
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.25) == "1.25"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell("abc") == "abc"
+
+
+class TestStaticTables:
+    def test_table1_lists_nine_models(self):
+        table = run_table1()
+        assert len(table.rows) == 9
+
+    def test_table2_iso_area_counts(self):
+        table = run_table2()
+        tiles = dict(zip(table.column("Parameter"), zip(table.column("FPRaker"), table.column("Baseline"))))
+        assert tiles["Tiles"] == (36, 8)
+        assert tiles["Total PEs"] == (2304, 512)
+
+    def test_table3_area_ratio(self):
+        table = run_table3()
+        fpraker_row = table.rows[0]
+        assert fpraker_row[4] == pytest.approx(0.22, abs=0.01)
+        # Derived iso-area tile counts reproduce the paper's 36 and 20.
+        assert table.rows[2][4] == 36
+        assert table.rows[3][4] == 20
+
+
+class TestAnalysisFigures:
+    def test_fig1_shapes(self):
+        table = run_fig1_sparsity(models=("NCF", "SNLI"), sample_size=8192)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            for cell in row[1:]:
+                assert 0.0 <= cell <= 1.0
+
+    def test_fig2_ncf_peak(self):
+        table = run_fig2_potential(models=("NCF", "Bert"), sample_size=8192)
+        ncf = table.rows[0]
+        bert = table.rows[1]
+        assert ncf[1] > bert[1]  # AxG
+
+    def test_fig10_compression_ratios(self):
+        table = run_fig10_compression(models=("VGG16",), sample_size=8192)
+        for cell in table.rows[0][1:]:
+            assert 0.1 < cell < 1.0

@@ -1,0 +1,110 @@
+"""Tests for the model zoo's layer geometry arithmetic."""
+
+import pytest
+
+from repro.models.zoo import (
+    MODEL_ZOO,
+    STUDIED_MODELS,
+    LayerShape,
+    get_model,
+)
+
+
+class TestLayerShape:
+    def test_conv_macs(self):
+        layer = LayerShape(
+            name="c", kind="conv", in_channels=64, out_channels=128,
+            kernel=3, out_h=28, out_w=28, in_h=28, in_w=28,
+        )
+        assert layer.reduction == 64 * 9
+        assert layer.macs_per_sample == 64 * 9 * 128 * 28 * 28
+        assert layer.weight_elems == 64 * 9 * 128
+
+    def test_fc_macs(self):
+        layer = LayerShape(name="f", kind="fc", in_channels=512, out_channels=1000)
+        assert layer.reduction == 512
+        assert layer.macs_per_sample == 512_000
+
+    def test_phase_macs_equal_across_phases(self):
+        layer = LayerShape(
+            name="c", kind="conv", in_channels=16, out_channels=32,
+            kernel=3, out_h=8, out_w=8, in_h=8, in_w=8, count=2,
+        )
+        macs = {p: layer.phase_macs(p, 4) for p in ("AxW", "GxW", "AxG")}
+        assert len(set(macs.values())) == 1
+        assert macs["AxW"] == layer.macs_per_sample * 4 * 2
+
+    def test_phase_reductions(self):
+        layer = LayerShape(
+            name="c", kind="conv", in_channels=16, out_channels=32,
+            kernel=3, out_h=8, out_w=8, in_h=8, in_w=8,
+        )
+        assert layer.phase_reduction("AxW", 4) == 16 * 9
+        assert layer.phase_reduction("GxW", 4) == 32 * 9
+        assert layer.phase_reduction("AxG", 4) == 8 * 8 * 4
+
+    def test_phase_validation(self):
+        layer = LayerShape(name="f", kind="fc", in_channels=8, out_channels=8)
+        with pytest.raises(ValueError):
+            layer.phase_macs("ZxZ", 1)
+        with pytest.raises(ValueError):
+            layer.phase_reduction("ZxZ", 1)
+
+    def test_byte_accounting(self):
+        layer = LayerShape(
+            name="c", kind="conv", in_channels=4, out_channels=8,
+            kernel=1, out_h=2, out_w=2, in_h=2, in_w=2, count=3,
+        )
+        assert layer.input_bytes(10) == 2.0 * 4 * 4 * 10 * 3
+        assert layer.output_bytes(10) == 2.0 * 8 * 4 * 10 * 3
+        assert layer.weight_bytes() == 2.0 * 4 * 8 * 3
+
+
+class TestZoo:
+    def test_all_studied_models_present(self):
+        for name in STUDIED_MODELS:
+            assert name in MODEL_ZOO
+
+    def test_accwidth_models_present(self):
+        assert "AlexNet" in MODEL_ZOO
+        assert "ResNet18" in MODEL_ZOO
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("LeNet-5")
+
+    def test_vgg16_macs_scale(self):
+        """VGG16's forward pass is famously ~15.5 GMACs per image."""
+        spec = get_model("VGG16")
+        forward = sum(l.macs_per_sample * l.count for l in spec.layers)
+        assert 14e9 < forward < 17e9
+
+    def test_resnet18_macs_scale(self):
+        """ResNet18 forward ~ 1.8 GMACs per image."""
+        spec = get_model("ResNet18")
+        forward = sum(l.macs_per_sample * l.count for l in spec.layers)
+        assert 1.4e9 < forward < 2.3e9
+
+    def test_alexnet_macs_scale(self):
+        """AlexNet forward ~ 0.7 GMACs per image."""
+        spec = get_model("AlexNet")
+        forward = sum(l.macs_per_sample * l.count for l in spec.layers)
+        assert 0.5e9 < forward < 1.0e9
+
+    def test_bert_macs_scale(self):
+        """BERT-base is ~ 86M params in the encoder stack; per token
+        the MAC count is roughly that."""
+        spec = get_model("Bert")
+        per_row = sum(l.macs_per_sample * l.count for l in spec.layers)
+        assert 7e7 < per_row < 1.1e8
+
+    def test_total_activation_bytes_positive(self):
+        for name in STUDIED_MODELS:
+            assert get_model(name).total_activation_bytes > 0
+
+    def test_training_step_three_phases(self):
+        spec = get_model("NCF")
+        forward = sum(
+            l.phase_macs("AxW", spec.batch) for l in spec.layers
+        )
+        assert spec.total_macs_per_step == 3 * forward

@@ -1,0 +1,132 @@
+"""Tests for the LSTM layer: gradient checks and end-to-end training."""
+
+import numpy as np
+import pytest
+
+from repro.nn.fpmath import EngineConfig, MatmulEngine
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.recurrent import LSTM, synthetic_sequences
+from repro.nn.training import Trainer
+
+
+def _engine():
+    return MatmulEngine(EngineConfig(mode="fp64"))
+
+
+def _numeric_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        hi = f()
+        x[idx] = old - eps
+        lo = f()
+        x[idx] = old
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLSTMGradients:
+    def test_input_gradient(self, rng):
+        lstm = LSTM(3, 4, _engine(), rng)
+        x = rng.normal(0, 1, (2, 5, 3))
+        target = rng.normal(0, 1, (2, 4))
+
+        def loss():
+            return float(((lstm.forward(x) - target) ** 2).sum())
+
+        out = lstm.forward(x)
+        grad = lstm.backward(2 * (out - target))
+        numeric = _numeric_grad(loss, x)
+        assert np.allclose(grad, numeric, atol=1e-4)
+
+    def test_weight_gradients(self, rng):
+        lstm = LSTM(3, 4, _engine(), rng)
+        x = rng.normal(0, 1, (2, 4, 3))
+        target = rng.normal(0, 1, (2, 4))
+
+        def loss():
+            return float(((lstm.forward(x) - target) ** 2).sum())
+
+        out = lstm.forward(x)
+        lstm.backward(2 * (out - target))
+        for param, grad in (
+            (lstm.w_x, lstm.w_x_grad),
+            (lstm.w_h, lstm.w_h_grad),
+            (lstm.bias, lstm.bias_grad),
+        ):
+            numeric = _numeric_grad(loss, param)
+            assert np.allclose(grad, numeric, atol=1e-4)
+
+    def test_shape_validation(self, rng):
+        lstm = LSTM(3, 4, _engine(), rng)
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((2, 5, 7)))
+
+    def test_backward_before_forward(self, rng):
+        lstm = LSTM(3, 4, _engine(), rng)
+        with pytest.raises(RuntimeError):
+            lstm.backward(np.zeros((2, 4)))
+
+
+class TestLSTMTraining:
+    def test_learns_sequences(self):
+        dataset = synthetic_sequences(classes=3, samples_per_class=80, seed=4)
+        rng = np.random.default_rng(0)
+        engine = MatmulEngine()
+        network = Sequential(
+            [
+                LSTM(8, 16, engine, rng, name="encoder"),
+                Dense(16, 3, engine, rng, name="classifier"),
+            ]
+        )
+        trainer = Trainer(network, SGD(lr=0.1, momentum=0.9), batch_size=32, seed=1)
+        history = trainer.fit(dataset, epochs=8)
+        assert history.final_test_accuracy > 0.8
+
+    def test_trains_under_fpraker_arithmetic(self):
+        """The SNLI-style substrate also runs under the emulated PE."""
+        dataset = synthetic_sequences(
+            classes=2, samples_per_class=40, time=6, seed=4
+        )
+        accuracies = {}
+        for mode in ("bf16", "fpraker"):
+            rng = np.random.default_rng(0)
+            engine = MatmulEngine(EngineConfig(mode=mode))
+            network = Sequential(
+                [
+                    LSTM(8, 8, engine, rng, name="encoder"),
+                    Dense(8, 2, engine, rng, name="classifier"),
+                ]
+            )
+            trainer = Trainer(
+                network, SGD(lr=0.1, momentum=0.9), batch_size=20, seed=1
+            )
+            history = trainer.fit(dataset, epochs=4)
+            accuracies[mode] = history.final_test_accuracy
+        assert accuracies["fpraker"] > 0.7
+        assert abs(accuracies["fpraker"] - accuracies["bf16"]) < 0.15
+
+    def test_traced_tensors(self, rng):
+        lstm = LSTM(3, 4, _engine(), rng)
+        lstm.forward(rng.normal(0, 1, (2, 3, 3)))
+        traced = lstm.traced_tensors()
+        assert "W" in traced and "I" in traced
+        assert traced["W"].size == 3 * 16 + 4 * 16
+
+
+class TestSequenceData:
+    def test_shapes(self):
+        data = synthetic_sequences(classes=3, samples_per_class=20, time=7, features=5)
+        assert data.train_x.shape[1:] == (7, 5)
+        assert set(np.unique(data.train_y)) == {0, 1, 2}
+
+    def test_deterministic(self):
+        d1 = synthetic_sequences(seed=9)
+        d2 = synthetic_sequences(seed=9)
+        assert np.array_equal(d1.train_x, d2.train_x)
