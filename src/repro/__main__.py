@@ -5,19 +5,32 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro run fig11            # regenerate one artifact
     python -m repro run fig14 --models VGG16 SNLI
-    python -m repro run all              # everything (minutes)
+    python -m repro run all --jobs 4     # everything, 4 worker processes
+    python -m repro run fig11 --format json --out results/
+    python -m repro run all --cache .repro-cache   # warm reruns
+
+All simulation-driven experiments share one
+:class:`repro.harness.runner.SimulationSession`, so ``run all`` performs
+each unique ``(model, config, progress, seed, acc_profile)`` simulation
+exactly once; ``--jobs`` fans cache misses out over worker processes and
+``--cache`` persists results on disk across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
+from pathlib import Path
 
 from repro.harness import experiments
 from repro.harness.extensions import (
     run_inference_extension,
     run_precision_schedule,
 )
+from repro.harness.runner import SimulationSession
+from repro.models.zoo import MODEL_ZOO
 
 EXPERIMENTS = {
     "table1": experiments.run_table1,
@@ -49,10 +62,39 @@ _MODEL_AWARE = {
 }
 
 
+def _accepts_session(func) -> bool:
+    """Whether an experiment routes simulation through a session."""
+    return "session" in inspect.signature(func).parameters
+
+
+def _tables(result) -> tuple:
+    """Normalize an experiment's return value to a tuple of tables."""
+    return result if isinstance(result, tuple) else (result,)
+
+
 def _show(result) -> None:
-    tables = result if isinstance(result, tuple) else (result,)
-    for table in tables:
+    for table in _tables(result):
         table.show()
+
+
+def _payload(result):
+    """One experiment's tables as a JSON-ready object."""
+    dicts = [table.to_dict() for table in _tables(result)]
+    return dicts[0] if len(dicts) == 1 else dicts
+
+
+def _render(result, fmt: str) -> str:
+    """One experiment's artifact as text or a JSON document."""
+    if fmt == "json":
+        return json.dumps(_payload(result), indent=2)
+    return "\n\n".join(table.render() for table in _tables(result)) + "\n"
+
+
+def _validate_models(models: list[str] | None) -> list[str]:
+    """Unknown model names from a ``--models`` argument (empty = valid)."""
+    if not models:
+        return []
+    return [name for name in models if name not in MODEL_ZOO]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,11 +120,43 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="restrict model-sweep experiments to these Table-I models",
     )
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulations (default: 1)",
+    )
+    runner.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="artifact format printed to stdout / written to --out",
+    )
+    runner.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write each artifact to DIR/<experiment>.{txt,json}",
+    )
+    runner.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist simulation results under DIR (warm reruns)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+    unknown = _validate_models(args.models)
+    if unknown:
+        print(
+            "unknown model(s): " + ", ".join(repr(m) for m in unknown)
+            + "\nknown models: " + ", ".join(sorted(MODEL_ZOO)),
+            file=sys.stderr,
+        )
+        return 2
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         if name not in EXPERIMENTS:
@@ -91,11 +165,36 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    for flag, value in (("--cache", args.cache), ("--out", args.out)):
+        if value is not None and Path(value).exists() and not Path(value).is_dir():
+            print(f"{flag} {value!r} is not a directory", file=sys.stderr)
+            return 2
+    session = SimulationSession(jobs=args.jobs, cache_dir=args.cache)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = "json" if args.format == "json" else "txt"
+    json_out = {}
+    for name in names:
         func = EXPERIMENTS[name]
         kwargs = {}
         if args.models and name in _MODEL_AWARE:
             kwargs["models"] = tuple(args.models)
-        _show(func(**kwargs))
+        if _accepts_session(func):
+            kwargs["session"] = session
+        result = func(**kwargs)
+        if args.format == "json":
+            json_out[name] = _payload(result)
+        else:
+            _show(result)
+        if out_dir is not None:
+            path = out_dir / f"{name}.{suffix}"
+            path.write_text(_render(result, args.format))
+    if args.format == "json":
+        # One parseable document: the bare artifact for a single
+        # experiment, an object keyed by experiment id for several.
+        single = json_out[names[0]] if len(names) == 1 else json_out
+        print(json.dumps(single, indent=2))
     return 0
 
 

@@ -59,6 +59,41 @@ class LayerPhaseResult:
     dram_bytes_raw: float
     energy: EnergyBreakdown
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round-trip)."""
+        return {
+            "model": self.model,
+            "layer": self.layer,
+            "phase": self.phase,
+            "macs": self.macs,
+            "serial_tensor": self.serial_tensor,
+            "compute_cycles": self.compute_cycles,
+            "dram_cycles": self.dram_cycles,
+            "cycles": self.cycles,
+            "counters": self.counters.to_dict(),
+            "dram_bytes": self.dram_bytes,
+            "dram_bytes_raw": self.dram_bytes_raw,
+            "energy": self.energy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LayerPhaseResult":
+        """Rebuild a phase result from :meth:`to_dict` output."""
+        return cls(
+            model=data["model"],
+            layer=data["layer"],
+            phase=data["phase"],
+            macs=int(data["macs"]),
+            serial_tensor=data["serial_tensor"],
+            compute_cycles=float(data["compute_cycles"]),
+            dram_cycles=float(data["dram_cycles"]),
+            cycles=float(data["cycles"]),
+            counters=SimCounters.from_dict(data["counters"]),
+            dram_bytes=float(data["dram_bytes"]),
+            dram_bytes_raw=float(data["dram_bytes_raw"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+        )
+
 
 @dataclass
 class WorkloadResult:
@@ -121,6 +156,23 @@ class WorkloadResult:
             return float("inf")
         return other.cycles_of_phase(phase) / own
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round-trip)."""
+        return {
+            "name": self.name,
+            "model": self.model,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadResult":
+        """Rebuild a workload result from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            model=data["model"],
+            phases=[LayerPhaseResult.from_dict(p) for p in data["phases"]],
+        )
+
 
 def _sample_runs(
     values: np.ndarray,
@@ -146,8 +198,12 @@ def _sample_runs(
     Returns:
         float64 array of shape ``shape + (lanes,)``.
     """
+    if values.size == 0:
+        # A fully-empty stream (e.g. a degenerate layer slice) yields
+        # all-zero groups; tiling cannot grow an empty array.
+        return np.zeros(tuple(shape) + (lanes,))
     if values.size < lanes:
-        values = np.tile(values, -(-lanes // max(1, values.size)) + 1)
+        values = np.tile(values, -(-lanes // values.size) + 1)
     starts = rng.integers(0, values.size - lanes + 1, size=shape)
     return values[starts[..., None] + np.arange(lanes)]
 
@@ -181,8 +237,10 @@ def _sample_column_runs(
     """
     stride = 2
     span = lanes + stride * (cols - 1)
+    if values.size == 0:
+        return np.zeros((cols, steps, lanes))
     if values.size < span:
-        values = np.tile(values, -(-span // max(1, values.size)) + 1)
+        values = np.tile(values, -(-span // values.size) + 1)
     starts = rng.integers(0, values.size - span + 1, size=steps)
     offsets = starts[None, :] + stride * np.arange(cols)[:, None]
     return values[offsets[..., None] + np.arange(lanes)]
@@ -210,8 +268,17 @@ def choose_serial_side(
         return workload.values_b, workload.values_a, workload.tensor_b
     if mode != "auto":
         raise ValueError(f"unknown serial-side mode {mode!r}")
-    terms_a = float(term_count(workload.values_a).mean())
-    terms_b = float(term_count(workload.values_b).mean())
+    # An empty stream carries no terms at all: serializing it is free.
+    terms_a = (
+        float(term_count(workload.values_a).mean())
+        if workload.values_a.size
+        else 0.0
+    )
+    terms_b = (
+        float(term_count(workload.values_b).mean())
+        if workload.values_b.size
+        else 0.0
+    )
     if terms_a <= terms_b:
         return workload.values_a, workload.values_b, workload.tensor_a
     return workload.values_b, workload.values_a, workload.tensor_b
@@ -274,7 +341,11 @@ class AcceleratorSimulator:
         # accumulator already holds the earlier products' sum, whose
         # random-walk growth (~ sqrt(n) times the product deviation)
         # raises the register exponent the OB mechanism keys off.
-        product_std = float(serial_flat.std() * parallel_flat.std())
+        product_std = (
+            float(serial_flat.std() * parallel_flat.std())
+            if serial_flat.size and parallel_flat.size
+            else 0.0
+        )
         for _ in range(self.sample_strips):
             a_chunks = _sample_column_runs(
                 serial_flat, tile_cfg.cols, steps, tile_cfg.pe.lanes, rng

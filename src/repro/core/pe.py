@@ -156,19 +156,22 @@ class FPRakerPE:
     def _exponent_block(self, a: np.ndarray, b: np.ndarray) -> int:
         """Block 1: product exponents and the round maximum (Fig 3).
 
-        A zero operand's exponent field reads as the minimum (-127
-        unbiased), exactly as the hardware adders see it, so zero pairs
-        never win the MAX and their terms land far out of bounds.
+        Lanes whose product is zero are masked out of the MAX (the zero
+        flag of either operand gates the comparator), so zero pairs never
+        win the round exponent.  Without the mask a zero operand's -127
+        exponent field paired with a large operand can still beat a
+        genuinely tiny product (e.g. 0 x 2^14 reads -113, beating 2^-126)
+        and push that product off the accumulator grid -- which is what
+        broke bit-exactness against the reference accumulator.
         """
-        if a.size == 0:
-            return self.accumulator.eacc if self.accumulator.sig else ZERO_EXP
         exps = [
             _operand_exponent(a[i]) + _operand_exponent(b[i])
             for i in range(a.size)
+            if a[i] != 0.0 and b[i] != 0.0
         ]
         if not self.accumulator.is_zero:
             exps.append(self.accumulator.eacc)
-        return max(exps)
+        return max(exps) if exps else ZERO_EXP
 
     def _decode_lane(self, a: float, b: float, emax: int) -> _LaneWork:
         """Expand one lane's A into terms, filter OB, form its exact sum."""
@@ -188,7 +191,11 @@ class FPRakerPE:
         for term in terms:
             # Alignment offset of this term's shifted B significand
             # relative to the round's emax (Fig 5: k = emax - (ABe - t)).
-            k = (emax - abe) + (_BF16_FRAC - term.power)
+            # Shift distances are unsigned in hardware: a lane whose
+            # product is zero (zero B) is excluded from the round MAX,
+            # so its emax - abe can go negative; its terms clamp at the
+            # round base (they carry no bits either way).
+            k = max(0, (emax - abe) + (_BF16_FRAC - term.power))
             if self.config.ob_skip and k > threshold:
                 # This and every later (smaller) term is out of bounds.
                 ob_terms = len(terms) - len(kept)

@@ -22,10 +22,15 @@ import numpy as np
 from repro.core.config import PEConfig
 from repro.encoding.booth import term_positions
 from repro.encoding.terms import MAX_TERMS, TERM_SLOTS
+from repro.fp.accumulator import ZERO_EXP
 from repro.fp.bfloat16 import bf16_fields
 
 _BF16_FRAC = 7
 _ZERO_OPERAND_EXP = -127
+
+# Round exponent of a group with no live (nonzero x nonzero) lane; the
+# scalar PE returns the same sentinel, keeping the two models bit-equal.
+_ZERO_ROUND_EXP = np.int64(ZERO_EXP)
 
 # Sentinel offset for padded / skipped term slots: far beyond any real
 # alignment offset, so it never wins a min().
@@ -71,6 +76,23 @@ class ScheduleResult:
         return int(self.cycles.sum())
 
 
+def operand_exponents_and_zero(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exponents as the adders read them (zeros -> -127), plus zero mask.
+
+    Args:
+        values: bfloat16-representable array.
+
+    Returns:
+        ``(exponents, is_zero)``: int64 and bool arrays of the same
+        shape as ``values``.
+    """
+    _, exp, _, is_zero = bf16_fields(values)
+    exponents = np.where(is_zero, _ZERO_OPERAND_EXP, exp).astype(np.int64)
+    return exponents, np.asarray(is_zero, dtype=bool)
+
+
 def operand_exponents(values: np.ndarray) -> np.ndarray:
     """Unbiased exponents as the exponent adders read them (zeros -> -127).
 
@@ -80,8 +102,7 @@ def operand_exponents(values: np.ndarray) -> np.ndarray:
     Returns:
         int64 array of the same shape.
     """
-    _, exp, _, is_zero = bf16_fields(values)
-    return np.where(is_zero, _ZERO_OPERAND_EXP, exp).astype(np.int64)
+    return operand_exponents_and_zero(values)[0]
 
 
 def group_term_weights(
@@ -111,19 +132,26 @@ def group_term_weights(
         * ``ob_skipped``: int64 ``[groups, lanes]`` OB-discarded terms;
         * ``emax``: int64 ``[groups]`` round maximum exponents.
     """
-    a_exp = operand_exponents(a_values)
-    b_exp = operand_exponents(b_values)
+    a_exp, a_zero = operand_exponents_and_zero(a_values)
+    b_exp, b_zero = operand_exponents_and_zero(b_values)
     abe = a_exp + b_exp
-    emax = abe.max(axis=1)
+    # Zero pairs are masked out of the round MAX (the zero flag gates
+    # the comparator), mirroring FPRakerPE._exponent_block: a zero
+    # operand's -127 exponent field could otherwise outvote a genuinely
+    # tiny product.  _ZERO_ROUND_EXP marks an all-zero round.
+    live = ~(a_zero | b_zero)
+    emax = np.where(live, abe, _ZERO_ROUND_EXP).max(axis=1)
     if eacc is not None:
         emax = np.maximum(emax, np.asarray(eacc, dtype=np.int64))
     count, power, _ = term_positions(a_values)
     # k = (emax - ABe) + (7 - p); power is MSB-first so k ascends along
-    # the term axis.
+    # the term axis.  Clamped at 0: shift distances are unsigned, and a
+    # zero-product lane (masked out of emax above) can sit above the
+    # round base -- its terms clamp there, as in the scalar PE.
     k = (emax[:, None, None] - abe[:, :, None]) + (_BF16_FRAC - power)
     slot = np.arange(MAX_TERMS, dtype=np.int64)
     valid = slot[None, None, :] < count[:, :, None]
-    k = np.where(valid, k, _K_SENTINEL)
+    k = np.where(valid, np.maximum(k, 0), _K_SENTINEL)
     zero_slots = TERM_SLOTS - count
     threshold = config.accumulator.ob_threshold
     if config.ob_skip:

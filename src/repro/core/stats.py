@@ -76,6 +76,15 @@ class LaneLedger:
         total = self.total()
         return self.useful / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round-trip)."""
+        return {name: getattr(self, name) for name in self.CATEGORIES}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LaneLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        return cls(**{name: float(data[name]) for name in cls.CATEGORIES})
+
 
 @dataclass
 class TermLedger:
@@ -116,6 +125,23 @@ class TermLedger:
         skipped = self.zero_skipped + self.ob_skipped
         return self.ob_skipped / skipped if skipped else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round-trip)."""
+        return {
+            "processed": self.processed,
+            "zero_skipped": self.zero_skipped,
+            "ob_skipped": self.ob_skipped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TermLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        return cls(
+            processed=float(data["processed"]),
+            zero_skipped=float(data["zero_skipped"]),
+            ob_skipped=float(data["ob_skipped"]),
+        )
+
 
 @dataclass
 class SimCounters:
@@ -148,3 +174,28 @@ class SimCounters:
         self.terms.add(other.terms, weight)
         self.exponent_invocations += other.exponent_invocations * weight
         self.accumulator_updates += other.accumulator_updates * weight
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float round-trip)."""
+        return {
+            "cycles": self.cycles,
+            "groups": self.groups,
+            "macs": self.macs,
+            "lanes": self.lanes.to_dict(),
+            "terms": self.terms.to_dict(),
+            "exponent_invocations": self.exponent_invocations,
+            "accumulator_updates": self.accumulator_updates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimCounters":
+        """Rebuild counters from :meth:`to_dict` output."""
+        return cls(
+            cycles=float(data["cycles"]),
+            groups=float(data["groups"]),
+            macs=float(data["macs"]),
+            lanes=LaneLedger.from_dict(data["lanes"]),
+            terms=TermLedger.from_dict(data["terms"]),
+            exponent_invocations=float(data["exponent_invocations"]),
+            accumulator_updates=float(data["accumulator_updates"]),
+        )

@@ -8,6 +8,7 @@ EXPERIMENTS.md file records paper-vs-measured for each.
 """
 
 from repro.harness.report import Table, geomean
+from repro.harness.runner import SimRequest, SimulationSession
 from repro.harness.experiments import (
     run_table1,
     run_table2,
@@ -33,6 +34,8 @@ from repro.harness.experiments import (
 __all__ = [
     "Table",
     "geomean",
+    "SimRequest",
+    "SimulationSession",
     "run_table1",
     "run_table2",
     "run_table3",

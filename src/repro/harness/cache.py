@@ -1,0 +1,99 @@
+"""On-disk persistence of simulation results.
+
+One file per canonical simulation key, holding the JSON round-trip of a
+:class:`repro.core.accelerator.WorkloadResult` (via its ``to_dict``).
+Python's ``json`` emits shortest-round-trip float literals, so a loaded
+result is bit-identical to the simulated one -- warm ``run`` invocations
+reproduce cold ones exactly.
+
+The store is deliberately simple: content-addressed file names (SHA-256
+of the key), atomic writes via a temp file, and unreadable or stale
+entries treated as misses.  Concurrent readers/writers of the same
+directory are safe because a key's content is a pure function of the
+key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core.accelerator import WorkloadResult
+
+# Bump when the result schema or simulator semantics change; stale
+# entries from older versions then read as misses instead of poisoning
+# warm runs.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Directory-backed store of :class:`WorkloadResult` by canonical key.
+
+    Args:
+        root: cache directory (created on first store).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """File path holding the given key's result."""
+        digest = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.root / f"{digest}.json"
+
+    def load(self, key: str) -> WorkloadResult | None:
+        """Fetch a stored result, or None on any kind of miss.
+
+        Args:
+            key: canonical simulation key.
+
+        Returns:
+            The deserialized result, or None when the entry is absent,
+            unreadable, from another cache version, or keyed differently
+            (a hash collision).
+        """
+        path = self.path_for(key)
+        try:
+            with path.open() as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+            return None
+        try:
+            return WorkloadResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, key: str, result: WorkloadResult) -> Path:
+        """Persist a result under its key (atomic replace).
+
+        Args:
+            key: canonical simulation key.
+            result: the simulation outcome to store.
+
+        Returns:
+            The path written.
+        """
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

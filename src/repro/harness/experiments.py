@@ -4,6 +4,14 @@ Conventions: functions return a :class:`repro.harness.report.Table`
 (sometimes with extra structured data); ``models`` defaults to the
 paper's nine studied models but can be narrowed for quick runs; all
 randomness is seeded, so results are reproducible.
+
+Every simulation-driven experiment takes an optional
+:class:`repro.harness.runner.SimulationSession` and routes all
+simulator work through it: figures sharing baselines (most of them)
+then reuse each other's results instead of re-simulating, and a
+session constructed with ``jobs > 1`` fans each figure's request list
+out over worker processes.  Passing no session gives each call a
+private one.
 """
 
 from __future__ import annotations
@@ -16,15 +24,12 @@ from repro.analysis.exponents import exponent_histogram, exponent_range_covered
 from repro.analysis.potential import model_potential_speedups
 from repro.analysis.sparsity import model_sparsity_report
 from repro.compression.base_delta import compression_summary
-from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
-from repro.core.baseline import BaselineAccelerator
 from repro.core.config import (
     AcceleratorConfig,
     baseline_paper_config,
     fpraker_paper_config,
     pragmatic_paper_config,
 )
-from repro.core.pragmatic import PragmaticFPAccelerator
 from repro.energy.model import AreaModel, EnergyModel, TABLE3
 from repro.models.zoo import MODEL_ZOO, STUDIED_MODELS, get_model
 from repro.nn.data import synthetic_images
@@ -33,10 +38,10 @@ from repro.nn.optim import SGD
 from repro.nn.sakr import sakr_accumulator_profile
 from repro.nn.training import Trainer
 from repro.harness.report import Table, geomean
+from repro.harness.runner import SimRequest, SimulationSession
 from repro.traces.calibration import get_calibration
 from repro.traces.capture import capture_training_traces
 from repro.traces.synthetic import generate_tensor
-from repro.traces.workloads import build_workloads
 
 PHASES = ("AxW", "GxW", "AxG")
 
@@ -55,26 +60,40 @@ def _variant_config(variant: str) -> AcceleratorConfig:
     raise ValueError(f"unknown variant {variant!r}")
 
 
-def _simulate(
-    model: str,
-    config: AcceleratorConfig | None = None,
-    progress: float = 0.5,
+def _session_for(
+    session: SimulationSession | None,
+    models: tuple[str, ...],
+    configs: tuple[AcceleratorConfig | None, ...],
+    progress: float | tuple[float, ...] = 0.5,
     seed: int = 0,
-    acc_profile: dict[str, int] | None = None,
-) -> WorkloadResult:
-    """Simulate one model's training step on one configuration."""
-    workloads = build_workloads(
-        model, progress=progress, seed=seed, acc_profile=acc_profile
+    with_baseline: bool = True,
+) -> SimulationSession:
+    """Resolve the session and prefetch a models x configs sweep.
+
+    Args:
+        session: caller-provided session, or None for a private one.
+        models: models the experiment iterates over.
+        configs: FPRaker-side configurations it needs per model.
+        progress: one or several training-progress points.
+        seed: workload RNG seed.
+        with_baseline: also request the bit-parallel baseline.
+
+    Returns:
+        The session, with every request already simulated (in parallel
+        when the session runs multiple jobs).
+    """
+    session = session if session is not None else SimulationSession()
+    points = progress if isinstance(progress, tuple) else (progress,)
+    sweep = list(configs) + ([baseline_paper_config()] if with_baseline else [])
+    session.prefetch(
+        [
+            SimRequest.make(model, config, point, seed)
+            for model in models
+            for point in points
+            for config in sweep
+        ]
     )
-    if config is not None and config.name == "baseline":
-        return BaselineAccelerator(config).simulate_workload(workloads)
-    simulator = AcceleratorSimulator(config)
-    return simulator.simulate_workload(workloads)
-
-
-def _baseline(model: str, progress: float = 0.5, seed: int = 0) -> WorkloadResult:
-    workloads = build_workloads(model, progress=progress, seed=seed)
-    return BaselineAccelerator().simulate_workload(workloads)
+    return session
 
 
 def run_table1() -> Table:
@@ -242,9 +261,16 @@ def run_fig11_speedup(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 11: iso-area speedup decomposition and core energy efficiency."""
-    energy = EnergyModel()
+    session = _session_for(
+        session,
+        models,
+        (_variant_config("zero"), _variant_config("zero+bdc"), None),
+        progress,
+        seed,
+    )
     table = Table(
         "Fig 11: FPRaker vs baseline (iso compute area)",
         ["Model", "Perf (Zero Terms)", "Perf (BDC + Zero Terms)",
@@ -252,10 +278,10 @@ def run_fig11_speedup(
     )
     speedups, zero_only, zero_bdc, core_eff = [], [], [], []
     for model in models:
-        base = _baseline(model, progress, seed)
-        zero = _simulate(model, _variant_config("zero"), progress, seed)
-        bdc = _simulate(model, _variant_config("zero+bdc"), progress, seed)
-        full = _simulate(model, _variant_config("full"), progress, seed)
+        base = session.baseline(model, progress, seed)
+        zero = session.simulate(model, _variant_config("zero"), progress, seed)
+        bdc = session.simulate(model, _variant_config("zero+bdc"), progress, seed)
+        full = session.simulate(model, None, progress, seed)
         eff = (
             base.energy_total().core.total / full.energy_total().core.total
         )
@@ -284,8 +310,10 @@ def run_fig12_energy(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 12: energy breakdown (core compute/control/accum, on/off-chip)."""
+    session = _session_for(session, models, (None,), progress, seed)
     table = Table(
         "Fig 12: Energy breakdown, FPRaker normalized to baseline",
         ["Model", "Compute", "Control", "Accumulation", "On-chip", "Off-chip",
@@ -293,8 +321,8 @@ def run_fig12_energy(
     )
     totals = []
     for model in models:
-        base = _baseline(model, progress, seed)
-        full = _simulate(model, None, progress, seed)
+        base = session.baseline(model, progress, seed)
+        full = session.simulate(model, None, progress, seed)
         fe = full.energy_total()
         be = base.energy_total()
         ratio = be.total / fe.total
@@ -316,14 +344,18 @@ def run_fig13_skipped(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 13: breakdown of skipped terms (zero vs out-of-bounds)."""
+    session = _session_for(
+        session, models, (None,), progress, seed, with_baseline=False
+    )
     table = Table(
         "Fig 13: Breakdown of skipped terms",
         ["Model", "skipped fraction", "zero share", "out-of-bounds share"],
     )
     for model in models:
-        full = _simulate(model, None, progress, seed)
+        full = session.simulate(model, None, progress, seed)
         terms = full.counters_total().terms
         ob_share = terms.ob_share_of_skipped()
         table.add_row(
@@ -336,16 +368,18 @@ def run_fig14_phases(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 14: speedup per training phase (AxG, GxW, AxW)."""
+    session = _session_for(session, models, (None,), progress, seed)
     table = Table(
         "Fig 14: Speedup breakdown per training phase",
         ["Model", "AxG", "GxW", "AxW"],
     )
     rows = {phase: [] for phase in PHASES}
     for model in models:
-        base = _baseline(model, progress, seed)
-        full = _simulate(model, None, progress, seed)
+        base = session.baseline(model, progress, seed)
+        full = session.simulate(model, None, progress, seed)
         speeds = {
             phase: full.phase_speedup_vs(base, phase) for phase in PHASES
         }
@@ -365,14 +399,18 @@ def run_fig15_stalls(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 15: lane-cycle breakdown (useful and the four stall kinds)."""
+    session = _session_for(
+        session, models, (None,), progress, seed, with_baseline=False
+    )
     table = Table(
         "Fig 15: Lane efficiency breakdown",
         ["Model", "useful", "no term", "shift range", "inter-PE", "exponent"],
     )
     for model in models:
-        full = _simulate(model, None, progress, seed)
+        full = session.simulate(model, None, progress, seed)
         fractions = full.counters_total().lanes.fractions()
         table.add_row(
             model,
@@ -389,8 +427,17 @@ def run_fig16_obs_sync(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 16: effect of OB skipping on synchronization overhead."""
+    session = _session_for(
+        session,
+        models,
+        (None, _variant_config("zero+bdc")),
+        progress,
+        seed,
+        with_baseline=False,
+    )
     table = Table(
         "Fig 16: Synchronization overhead with/without OB skipping (OBS)",
         ["Model", "sync lane-cycles OBS", "sync lane-cycles no-OBS",
@@ -398,8 +445,10 @@ def run_fig16_obs_sync(
     )
     reductions = []
     for model in models:
-        full = _simulate(model, None, progress, seed)
-        no_obs = _simulate(model, _variant_config("zero+bdc"), progress, seed)
+        full = session.simulate(model, None, progress, seed)
+        no_obs = session.simulate(
+            model, _variant_config("zero+bdc"), progress, seed
+        )
         def sync_cycles(result):
             lanes = result.counters_total().lanes
             return lanes.no_term + lanes.shift_range + lanes.inter_pe + lanes.exponent
@@ -467,8 +516,10 @@ def run_fig18_over_time(
     models: tuple[str, ...] = STUDIED_MODELS,
     points: tuple[float, ...] = (0.05, 0.2, 0.4, 0.6, 0.8, 1.0),
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 18: speedup over the course of training."""
+    session = _session_for(session, models, (None,), tuple(points), seed)
     table = Table(
         "Fig 18: Speedup over training progress",
         ["Model"] + [f"{int(p * 100)}%" for p in points],
@@ -476,11 +527,18 @@ def run_fig18_over_time(
     for model in models:
         row = [model]
         for progress in points:
-            base = _baseline(model, progress, seed)
-            full = _simulate(model, None, progress, seed)
+            base = session.baseline(model, progress, seed)
+            full = session.simulate(model, None, progress, seed)
             row.append(full.speedup_vs(base))
         table.add_row(*row)
     return table
+
+
+def _rows_config(rows: int) -> AcceleratorConfig:
+    """Fig 19/20 geometry: ``rows`` per tile at constant total PEs."""
+    config = fpraker_paper_config()
+    tiles = config.tiles * config.tile.rows // rows
+    return replace(config, tiles=tiles, tile=replace(config.tile, rows=rows))
 
 
 def run_fig19_20_rows(
@@ -488,12 +546,20 @@ def run_fig19_20_rows(
     rows_options: tuple[int, ...] = (2, 4, 8, 16),
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> tuple[Table, Table]:
     """Figs 19/20: speedup and cycle breakdown vs rows per tile.
 
     The total PE count is held constant: halving the rows doubles the
     tiles, so only the synchronization structure changes.
     """
+    session = _session_for(
+        session,
+        models,
+        tuple(_rows_config(rows) for rows in rows_options),
+        progress,
+        seed,
+    )
     speed_table = Table(
         "Fig 19: Speedup vs rows per tile (constant total PEs)",
         ["Model"] + [f"{r} rows" for r in rows_options],
@@ -504,17 +570,10 @@ def run_fig19_20_rows(
     )
     stall_sums = {r: [] for r in rows_options}
     for model in models:
-        base = _baseline(model, progress, seed)
+        base = session.baseline(model, progress, seed)
         row = [model]
         for rows in rows_options:
-            config = fpraker_paper_config()
-            tiles = config.tiles * config.tile.rows // rows
-            config = replace(
-                config,
-                tiles=tiles,
-                tile=replace(config.tile, rows=rows),
-            )
-            result = _simulate(model, config, progress, seed)
+            result = session.simulate(model, _rows_config(rows), progress, seed)
             row.append(result.speedup_vs(base))
             stall_sums[rows].append(result.counters_total().lanes)
         speed_table.add_row(*row)
@@ -534,10 +593,22 @@ def run_fig19_20_rows(
     return speed_table, stall_table
 
 
+def _sakr_profile(model: str) -> dict[str, int]:
+    """Per-layer Sakr et al. accumulator widths for Fig 21."""
+    spec = get_model(model)
+    return sakr_accumulator_profile(
+        {
+            layer.name: layer.phase_reduction("AxW", spec.batch)
+            for layer in spec.layers
+        }
+    )
+
+
 def run_fig21_accwidth(
     models: tuple[str, ...] = ("AlexNet", "ResNet18"),
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Fig 21: fixed vs per-layer profiled accumulator widths.
 
@@ -545,21 +616,28 @@ def run_fig21_accwidth(
     per-layer accumulation widths; the narrower accumulators raise the
     OB threshold's bite and FPRaker speeds up with no hardware change.
     """
+    session = session if session is not None else SimulationSession()
+    profiles = {model: _sakr_profile(model) for model in models}
+    session.prefetch(
+        [
+            SimRequest.make(model, config, progress, seed, acc_profile)
+            for model in models
+            for config, acc_profile in (
+                (baseline_paper_config(), None),
+                (None, None),
+                (None, profiles[model]),
+            )
+        ]
+    )
     table = Table(
         "Fig 21: Per-layer profiled accumulator width",
         ["Config", "AxW", "GxW", "AxG", "Total speedup vs baseline"],
     )
     for model in models:
-        spec = get_model(model)
-        profile = sakr_accumulator_profile(
-            {
-                layer.name: layer.phase_reduction("AxW", spec.batch)
-                for layer in spec.layers
-            }
-        )
-        base = _baseline(model, progress, seed)
+        profile = profiles[model]
+        base = session.baseline(model, progress, seed)
         for label, acc_profile in ((model, None), (f"{model}-P", profile)):
-            result = _simulate(
+            result = session.simulate(
                 model, None, progress, seed, acc_profile=acc_profile
             )
             table.add_row(
@@ -576,6 +654,7 @@ def run_pragmatic_comparison(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Section I: bfloat16 Bit-Pragmatic vs the bit-parallel baseline.
 
@@ -583,15 +662,17 @@ def run_pragmatic_comparison(
     1.96x *less* energy efficient at iso compute area -- the negative
     result motivating FPRaker's area-focused design.
     """
+    session = _session_for(
+        session, models, (pragmatic_paper_config(),), progress, seed
+    )
     table = Table(
         "Bit-Pragmatic-FP vs baseline (iso compute area)",
         ["Model", "slowdown (x)", "energy inefficiency (x)"],
     )
     slowdowns, inefficiencies = [], []
     for model in models:
-        workloads = build_workloads(model, progress=progress, seed=seed)
-        base = BaselineAccelerator().simulate_workload(workloads)
-        prag = PragmaticFPAccelerator().simulate_workload(workloads)
+        base = session.baseline(model, progress, seed)
+        prag = session.pragmatic(model, progress, seed)
         slowdown = prag.cycles / base.cycles
         inefficiency = (
             prag.energy_total().core.total / base.energy_total().core.total

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.accelerator import AcceleratorSimulator
-from repro.core.baseline import BaselineAccelerator
+from repro.core.config import baseline_paper_config
 from repro.harness.report import Table, geomean
+from repro.harness.runner import SimRequest, SimulationSession
 from repro.models.zoo import STUDIED_MODELS, get_model
-from repro.traces.workloads import build_workloads
 
 
 def run_precision_schedule(
@@ -32,6 +31,7 @@ def run_precision_schedule(
         (0.9, 12),
     ),
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """Sweep accumulator precision over training progress.
 
@@ -48,24 +48,33 @@ def run_precision_schedule(
         Table of per-stage speedups: scheduled vs fixed 12-bit width.
     """
     spec = get_model(model)
+    session = session if session is not None else SimulationSession()
+    profiles = {
+        frac_bits: {layer.name: frac_bits for layer in spec.layers}
+        for _, frac_bits in schedule
+    }
+    session.prefetch(
+        [
+            SimRequest.make(model, config, progress, seed, acc_profile)
+            for progress, frac_bits in schedule
+            for config, acc_profile in (
+                (baseline_paper_config(), None),
+                (None, profiles[frac_bits]),
+                (None, None),
+            )
+        ]
+    )
     table = Table(
         f"Extension: precision-scheduled training of {model}",
         ["Progress", "Acc frac bits", "Speedup (scheduled)", "Speedup (fixed 12b)"],
     )
     scheduled, fixed = [], []
     for progress, frac_bits in schedule:
-        profile = {layer.name: frac_bits for layer in spec.layers}
-        base = BaselineAccelerator().simulate_workload(
-            build_workloads(model, progress=progress, seed=seed)
+        base = session.baseline(model, progress, seed)
+        narrow = session.simulate(
+            model, None, progress, seed, acc_profile=profiles[frac_bits]
         )
-        narrow = AcceleratorSimulator().simulate_workload(
-            build_workloads(
-                model, progress=progress, seed=seed, acc_profile=profile
-            )
-        )
-        wide = AcceleratorSimulator().simulate_workload(
-            build_workloads(model, progress=progress, seed=seed)
-        )
+        wide = session.simulate(model, None, progress, seed)
         table.add_row(
             f"{progress:.0%}",
             frac_bits,
@@ -81,6 +90,7 @@ def run_precision_schedule(
 def run_inference_extension(
     models: tuple[str, ...] = ("VGG16", "ResNet18-Q", "Bert"),
     seed: int = 0,
+    session: SimulationSession | None = None,
 ) -> Table:
     """FPRaker as an inference PE: forward phase only, converged stats.
 
@@ -92,17 +102,24 @@ def run_inference_extension(
         Table comparing the inference-only speedup with the
         full-training-step speedup.
     """
+    session = session if session is not None else SimulationSession()
+    session.prefetch(
+        [
+            SimRequest.make(model, config, 1.0, seed, phases=phases)
+            for model in models
+            for config in (None, baseline_paper_config())
+            for phases in (("AxW",), None)
+        ]
+    )
     table = Table(
         "Extension: FPRaker for inference (forward pass only)",
         ["Model", "Inference speedup", "Training-step speedup"],
     )
     for model in models:
-        fwd = build_workloads(model, progress=1.0, phases=("AxW",), seed=seed)
-        full = build_workloads(model, progress=1.0, seed=seed)
-        base_fwd = BaselineAccelerator().simulate_workload(fwd)
-        base_full = BaselineAccelerator().simulate_workload(full)
-        fpr_fwd = AcceleratorSimulator().simulate_workload(fwd)
-        fpr_full = AcceleratorSimulator().simulate_workload(full)
+        base_fwd = session.baseline(model, 1.0, seed, phases=("AxW",))
+        base_full = session.baseline(model, 1.0, seed)
+        fpr_fwd = session.simulate(model, None, 1.0, seed, phases=("AxW",))
+        fpr_full = session.simulate(model, None, 1.0, seed)
         table.add_row(
             model,
             fpr_fwd.speedup_vs(base_fwd),

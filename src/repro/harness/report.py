@@ -79,6 +79,22 @@ class Table:
         index = self.headers.index(name)
         return [row[index] for row in self.rows]
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form: title, headers, and native-typed rows.
+
+        Numpy scalars are converted to their Python equivalents so the
+        result feeds ``json.dumps`` directly.
+        """
+
+        def native(cell):
+            return cell.item() if hasattr(cell, "item") else cell
+
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[native(cell) for cell in row] for row in self.rows],
+        }
+
     def show(self) -> None:
         """Print the rendered table (with a trailing blank line)."""
         print(self.render())

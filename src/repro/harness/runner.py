@@ -1,0 +1,340 @@
+"""Cached, parallel simulation sessions.
+
+Every figure of the paper's evaluation needs the same handful of
+simulations -- the baseline and a few FPRaker variants per Table-I model
+-- yet the seed harness re-simulated them for every figure.  A
+:class:`SimulationSession` routes all simulation through one object that
+
+* **memoizes** results by a canonical key over ``(model, config,
+  progress, seed, acc_profile)`` plus the sampling parameters, so each
+  unique simulation runs exactly once per session;
+* **fans out** independent cache misses over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs > 1``), with
+  bit-identical results to a serial run because every simulation is a
+  deterministic function of its key;
+* optionally **persists** results to disk (:class:`ResultCache`), so a
+  repeated ``python -m repro run`` starts warm.
+
+Experiments call :meth:`SimulationSession.prefetch` with their full
+request list up front (enabling the parallel fan-out), then read each
+result back through :meth:`simulate` / :meth:`baseline`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+
+from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
+from repro.core.baseline import BaselineAccelerator
+from repro.core.config import (
+    AcceleratorConfig,
+    baseline_paper_config,
+    fpraker_paper_config,
+    pragmatic_paper_config,
+)
+from repro.core.pragmatic import PragmaticFPAccelerator
+from repro.harness.cache import ResultCache
+from repro.traces.workloads import build_workloads
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One fully-specified simulation.
+
+    Attributes:
+        model: Table-I model name.
+        config: accelerator configuration (None means the paper's
+            FPRaker config).
+        progress: training progress in [0, 1].
+        seed: workload RNG seed.
+        acc_profile: per-layer accumulator widths as sorted
+            ``(layer, frac_bits)`` pairs (hashable form of the dict).
+        phases: training phases to build (None = all three).
+    """
+
+    model: str
+    config: AcceleratorConfig | None = None
+    progress: float = 0.5
+    seed: int = 0
+    acc_profile: tuple[tuple[str, int], ...] | None = None
+    phases: tuple[str, ...] | None = None
+
+    @staticmethod
+    def make(
+        model: str,
+        config: AcceleratorConfig | None = None,
+        progress: float = 0.5,
+        seed: int = 0,
+        acc_profile: dict[str, int] | None = None,
+        phases: tuple[str, ...] | None = None,
+    ) -> "SimRequest":
+        """Normalize loose arguments (dict profile) into a request."""
+        profile = (
+            tuple(sorted(acc_profile.items())) if acc_profile else None
+        )
+        return SimRequest(
+            model=model,
+            config=config,
+            progress=float(progress),
+            seed=int(seed),
+            acc_profile=profile,
+            phases=tuple(phases) if phases is not None else None,
+        )
+
+    def resolved_config(self) -> AcceleratorConfig:
+        """The effective configuration (None -> paper FPRaker)."""
+        return self.config if self.config is not None else fpraker_paper_config()
+
+
+def canonical_key(
+    request: SimRequest,
+    sample_strips: int,
+    sample_steps: int,
+    sim_seed: int,
+) -> str:
+    """Stable string key identifying a simulation's full input set.
+
+    Two requests that resolve to the same configuration (e.g. ``None``
+    and an explicitly-constructed paper config) share a key; any change
+    to the config tree, the workload parameters, or the sampling setup
+    produces a distinct key.
+    """
+    spec = {
+        "model": request.model,
+        "config": asdict(request.resolved_config()),
+        "progress": request.progress,
+        "seed": request.seed,
+        "acc_profile": list(request.acc_profile or ()),
+        "phases": list(request.phases) if request.phases is not None else None,
+        "sample_strips": sample_strips,
+        "sample_steps": sample_steps,
+        "sim_seed": sim_seed,
+    }
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+def execute_request(
+    request: SimRequest,
+    sample_strips: int = 4,
+    sample_steps: int = 32,
+    sim_seed: int = 1234,
+) -> WorkloadResult:
+    """Run one simulation cold (module-level so worker processes can
+    receive it by name).
+
+    Args:
+        request: the simulation to run.
+        sample_strips: operand strips sampled per layer-phase.
+        sample_steps: reduction groups per strip.
+        sim_seed: operand-sampling RNG seed.
+
+    Returns:
+        The simulated :class:`WorkloadResult`.
+    """
+    config = request.resolved_config()
+    kwargs = {}
+    if request.phases is not None:
+        kwargs["phases"] = request.phases
+    workloads = build_workloads(
+        request.model,
+        progress=request.progress,
+        seed=request.seed,
+        acc_profile=dict(request.acc_profile) if request.acc_profile else None,
+        **kwargs,
+    )
+    if config.name == "baseline":
+        return BaselineAccelerator(config).simulate_workload(workloads)
+    simulator_cls = (
+        PragmaticFPAccelerator
+        if config.name == "pragmatic-fp"
+        else AcceleratorSimulator
+    )
+    simulator = simulator_cls(
+        config,
+        sample_strips=sample_strips,
+        sample_steps=sample_steps,
+        seed=sim_seed,
+    )
+    return simulator.simulate_workload(workloads)
+
+
+@dataclass
+class SessionStats:
+    """Work accounting of one session.
+
+    Attributes:
+        hits: requests answered from the in-memory memo.
+        disk_hits: requests answered from the on-disk cache.
+        simulations: cold simulations actually executed -- the
+            acceptance counter: equals the number of *unique* requests
+            a session has seen (minus disk hits).
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    simulations: int = 0
+
+
+class SimulationSession:
+    """Memoizing, optionally parallel front end to all simulators.
+
+    Args:
+        jobs: worker processes for :meth:`prefetch` fan-out (1 = serial).
+        cache_dir: directory for on-disk result persistence (None
+            disables it).
+        sample_strips: operand strips per layer-phase (simulator default
+            4; tests pass less for speed).
+        sample_steps: reduction groups per strip (default 32).
+        sim_seed: operand-sampling RNG seed (default 1234).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        sample_strips: int = 4,
+        sample_steps: int = 32,
+        sim_seed: int = 1234,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.sample_strips = sample_strips
+        self.sample_steps = sample_steps
+        self.sim_seed = sim_seed
+        self.disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = SessionStats()
+        self._memo: dict[str, WorkloadResult] = {}
+
+    # -- lookup ------------------------------------------------------------
+
+    def key_of(self, request: SimRequest) -> str:
+        """Canonical key of a request under this session's sampling."""
+        return canonical_key(
+            request, self.sample_strips, self.sample_steps, self.sim_seed
+        )
+
+    @property
+    def unique_simulations(self) -> int:
+        """Distinct simulations this session holds results for."""
+        return len(self._memo)
+
+    def simulate(
+        self,
+        model: str,
+        config: AcceleratorConfig | None = None,
+        progress: float = 0.5,
+        seed: int = 0,
+        acc_profile: dict[str, int] | None = None,
+        phases: tuple[str, ...] | None = None,
+    ) -> WorkloadResult:
+        """Simulate (or fetch) one model under one configuration.
+
+        Args:
+            model: Table-I model name.
+            config: accelerator config (None = paper FPRaker).
+            progress: training progress in [0, 1].
+            seed: workload RNG seed.
+            acc_profile: optional per-layer accumulator widths.
+            phases: training phases to include (None = all three).
+
+        Returns:
+            The (possibly cached) :class:`WorkloadResult`.
+        """
+        request = SimRequest.make(
+            model, config, progress, seed, acc_profile, phases
+        )
+        return self._get(request)
+
+    def baseline(
+        self,
+        model: str,
+        progress: float = 0.5,
+        seed: int = 0,
+        phases: tuple[str, ...] | None = None,
+    ) -> WorkloadResult:
+        """Simulate (or fetch) the bit-parallel baseline."""
+        return self.simulate(
+            model, baseline_paper_config(), progress, seed, phases=phases
+        )
+
+    def pragmatic(
+        self, model: str, progress: float = 0.5, seed: int = 0
+    ) -> WorkloadResult:
+        """Simulate (or fetch) the Pragmatic-FP comparison point."""
+        return self.simulate(model, pragmatic_paper_config(), progress, seed)
+
+    # -- execution ---------------------------------------------------------
+
+    def prefetch(self, requests: list[SimRequest]) -> None:
+        """Ensure every request's result is in the memo.
+
+        Deduplicates, consults the disk cache, then runs the remaining
+        cold simulations -- over the process pool when ``jobs > 1``.
+        Results are identical to serial execution because each
+        simulation is a deterministic function of its request.
+
+        Args:
+            requests: simulations an experiment is about to read.
+        """
+        todo: dict[str, SimRequest] = {}
+        for request in requests:
+            key = self.key_of(request)
+            if key in self._memo or key in todo:
+                continue
+            if self.disk is not None:
+                cached = self.disk.load(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    self.stats.disk_hits += 1
+                    continue
+            todo[key] = request
+        if not todo:
+            return
+        items = list(todo.items())
+        if self.jobs == 1 or len(items) == 1:
+            results = [self._execute(request) for _, request in items]
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    pool.submit(
+                        execute_request,
+                        request,
+                        self.sample_strips,
+                        self.sample_steps,
+                        self.sim_seed,
+                    )
+                    for _, request in items
+                ]
+                results = [future.result() for future in futures]
+            self.stats.simulations += len(items)
+        for (key, _), result in zip(items, results):
+            self._memo[key] = result
+            if self.disk is not None:
+                self.disk.store(key, result)
+
+    def _get(self, request: SimRequest) -> WorkloadResult:
+        """Memo -> disk -> cold simulation, updating the counters."""
+        key = self.key_of(request)
+        if key in self._memo:
+            self.stats.hits += 1
+            return self._memo[key]
+        if self.disk is not None:
+            cached = self.disk.load(key)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memo[key] = cached
+                return cached
+        result = self._execute(request)
+        self._memo[key] = result
+        if self.disk is not None:
+            self.disk.store(key, result)
+        return result
+
+    def _execute(self, request: SimRequest) -> WorkloadResult:
+        """Run one cold simulation in-process."""
+        self.stats.simulations += 1
+        return execute_request(
+            request, self.sample_strips, self.sample_steps, self.sim_seed
+        )

@@ -102,6 +102,24 @@ class TestSamplers:
         runs = _sample_runs(values, (3,), 8, rng)
         assert runs.shape == (3, 8)
 
+    def test_empty_stream_yields_zero_runs(self, rng):
+        """Regression: an empty stream used to crash rng.integers (tiling
+        cannot grow a zero-size array, so high stayed non-positive)."""
+        runs = _sample_runs(np.array([]), (3, 4), 8, rng)
+        assert runs.shape == (3, 4, 8)
+        assert np.all(runs == 0.0)
+
+    def test_empty_stream_yields_zero_column_runs(self, rng):
+        runs = _sample_column_runs(np.array([]), 8, 5, 8, rng)
+        assert runs.shape == (8, 5, 8)
+        assert np.all(runs == 0.0)
+
+    def test_single_value_pool_column_runs(self, rng):
+        """A pool smaller than the column span tiles up cleanly."""
+        runs = _sample_column_runs(np.array([3.0]), 8, 5, 8, rng)
+        assert runs.shape == (8, 5, 8)
+        assert np.all(runs == 3.0)
+
 
 class TestAcceleratorSimulator:
     def test_deterministic(self, rng):
@@ -177,6 +195,30 @@ class TestAcceleratorSimulator:
         assert result.energy.core.total > 0
         assert result.energy.on_chip > 0
         assert result.energy.off_chip > 0
+
+    def test_empty_value_streams_simulate(self, rng):
+        """Regression: a fully-sparse/empty tensor workload used to
+        crash deep in the run samplers; it must yield a well-defined
+        all-idle result instead."""
+        workload = _workload(rng)
+        workload.values_a = np.array([])
+        workload.values_b = np.array([])
+        result = AcceleratorSimulator(
+            sample_strips=2, sample_steps=8
+        ).simulate_phase(workload)
+        assert np.isfinite(result.cycles) and result.cycles > 0
+        assert result.counters.lanes.useful == 0.0
+        assert result.counters.terms.processed == 0.0
+
+    def test_all_zero_value_streams_simulate(self, rng):
+        workload = _workload(rng)
+        workload.values_a = np.zeros(4096)
+        workload.values_b = np.zeros(4096)
+        result = AcceleratorSimulator(
+            sample_strips=2, sample_steps=8
+        ).simulate_phase(workload)
+        assert np.isfinite(result.cycles) and result.cycles > 0
+        assert result.counters.terms.processed == 0.0
 
 
 class TestBaselineAccelerator:

@@ -123,6 +123,29 @@ class TestWorkAccounting:
         assert trace.terms_ob_skipped >= 1
         assert pe.value() == 1.0
 
+    def test_zero_pair_never_wins_round_exponent(self):
+        """Regression: a 0 x large pair reads -127 + 14 = -113 at the
+        exponent adders, which used to beat a genuinely tiny live
+        product (2^-126) and push it off the accumulator grid."""
+        tiny = 1.1754943508222875e-38  # 2^-126
+        pe = FPRakerPE(PEConfig(ob_skip=False))
+        trace = pe.process_group([0.0, 1.0], [16384.0, tiny])
+        assert pe.value() == tiny
+        assert trace.emax == -126
+
+    def test_dead_lane_offsets_clamp_at_round_base(self):
+        """A zero-product lane sitting above the masked round MAX gets
+        its (unsigned) shift distance clamped at 0 rather than going
+        negative: it fires with the base round and cannot stall the
+        live lanes or set a bogus schedule base."""
+        tiny = 2.0**-126
+        pe = FPRakerPE(PEConfig(ob_skip=True))
+        trace = pe.process_group([tiny, 2.0**14], [tiny, 0.0])
+        assert trace.emax == -252  # the live lane's product exponent
+        assert trace.cycles == 1
+        assert trace.lane_shift == [0, 0]
+        assert trace.terms_ob_skipped == 0
+
     def test_term_conservation(self, rng):
         for _ in range(100):
             a = bf16_quantize(rng.normal(0, 2, 8))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
@@ -24,6 +26,50 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
+
+    def test_unknown_experiment_rejected_before_any_run(self, capsys):
+        """'run all'-style lists fail fast on a bad name."""
+        assert main(["run", "fig99", "--models", "NCF"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_model_exits_2_and_lists_known(self, capsys):
+        """Regression: an unknown --models name used to die with a raw
+        KeyError deep in the model zoo."""
+        assert main(["run", "fig11", "--models", "NoSuchModel"]) == 2
+        err = capsys.readouterr().err
+        assert "NoSuchModel" in err
+        assert "VGG16" in err and "NCF" in err  # the known names
+
+    def test_unknown_model_checked_before_simulating(self, capsys):
+        assert main(["run", "fig1", "--models", "NCF", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_json_format(self, capsys):
+        assert main(["run", "table2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["title"].startswith("Table II")
+        assert "Parameter" in payload["headers"]
+        assert any(row[0] == "Tiles" for row in payload["rows"])
+
+    def test_out_dir_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["run", "table1", "--out", str(out)]) == 0
+        text = (out / "table1.txt").read_text()
+        assert "Table I" in text
+        assert main(
+            ["run", "table1", "--format", "json", "--out", str(out)]
+        ) == 0
+        payload = json.loads((out / "table1.json").read_text())
+        assert len(payload["rows"]) == 9
+
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["run", "fig13", "--models", "NCF", "--cache", str(cache)]
+        assert main(args + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert list(cache.glob("*.json"))  # results persisted
+        assert main(args) == 0  # warm, serial: same artifact
+        assert capsys.readouterr().out == cold
 
     def test_every_registered_experiment_is_callable(self):
         for func in EXPERIMENTS.values():

@@ -12,6 +12,12 @@ from repro.core.accelerator import AcceleratorSimulator
 from repro.core.baseline import BaselineAccelerator
 from repro.core.config import fpraker_paper_config
 from repro.core.pragmatic import PragmaticFPAccelerator
+from repro.harness.experiments import (
+    run_fig11_speedup,
+    run_fig13_skipped,
+    run_fig14_phases,
+)
+from repro.harness.runner import SimulationSession
 from repro.traces.workloads import build_workloads
 
 
@@ -111,6 +117,53 @@ class TestStallStructure:
         fpr, _ = quick_sims
         result = fpr.simulate_workload(build_workloads("VGG16"))
         assert result.counters_total().lanes.fractions()["shift_range"] < 0.1
+
+
+class TestSessionedExperiments:
+    """The acceptance property of the cached runner: a figure subset
+    performs each unique (model, config, progress, seed, acc_profile)
+    simulation exactly once per session, and parallel execution is
+    bit-identical to serial."""
+
+    MODELS = ("NCF", "SNLI")
+
+    def test_three_figures_share_unique_simulations(self):
+        session = SimulationSession(sample_strips=2, sample_steps=8)
+        run_fig11_speedup(models=self.MODELS, session=session)
+        # fig11 needs 4 configs per model (baseline, zero, zero+bdc, full).
+        assert session.stats.simulations == len(self.MODELS) * 4
+        run_fig13_skipped(models=self.MODELS, session=session)
+        run_fig14_phases(models=self.MODELS, session=session)
+        # figs 13/14 only read (baseline, full) pairs fig11 already ran.
+        assert session.stats.simulations == len(self.MODELS) * 4
+        assert session.unique_simulations == len(self.MODELS) * 4
+        assert session.stats.hits > 0
+
+    def test_parallel_session_bit_identical(self):
+        serial = SimulationSession(sample_strips=2, sample_steps=8)
+        parallel = SimulationSession(jobs=4, sample_strips=2, sample_steps=8)
+        tables_serial = [
+            run_fig11_speedup(models=self.MODELS, session=serial),
+            run_fig14_phases(models=self.MODELS, session=serial),
+        ]
+        tables_parallel = [
+            run_fig11_speedup(models=self.MODELS, session=parallel),
+            run_fig14_phases(models=self.MODELS, session=parallel),
+        ]
+        for left, right in zip(tables_serial, tables_parallel):
+            assert left.rows == right.rows
+            assert left.render() == right.render()
+
+    def test_sessioned_figures_match_direct_simulation(self, quick_sims):
+        """The session front end reproduces ad-hoc simulator results."""
+        session = SimulationSession(sample_strips=2, sample_steps=16)
+        table = run_fig14_phases(models=("NCF",), session=session)
+        fpr, base = quick_sims
+        workloads = build_workloads("NCF", progress=0.5)
+        full = fpr.simulate_workload(workloads)
+        ref = base.simulate_workload(workloads)
+        expected = full.phase_speedup_vs(ref, "AxG")
+        assert table.rows[0][1] == pytest.approx(expected, rel=0, abs=0)
 
 
 class TestOverTime:
