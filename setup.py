@@ -4,9 +4,27 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.24"],
+    extras_require={
+        # Everything CI needs on top of the runtime deps: the test
+        # runner, the property-test engine, the benchmark timer, and
+        # the coverage gate.  `pip install -e .[dev]` is the single
+        # supported dev setup -- keep CI pointed here instead of
+        # hand-listing packages in the workflow.
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.__main__:main",
+        ],
+    },
     python_requires=">=3.10",
 )

@@ -44,6 +44,8 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         sample_strips: operand strips sampled per layer-phase.
         sample_steps: reduction groups per strip.
         seed: RNG seed.
+        strip_engine: ``"batched"`` (default) or the ``"serial"``
+            reference loop.
     """
 
     def __init__(
@@ -51,9 +53,10 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         config: AcceleratorConfig | None = None,
         energy: EnergyModel | None = None,
         dram: DRAMModel | None = None,
-        sample_strips: int = 4,
+        sample_strips: int = 8,
         sample_steps: int = 32,
         seed: int = 1234,
+        strip_engine: str = "batched",
     ) -> None:
         super().__init__(
             config=config if config is not None else pragmatic_paper_config(),
@@ -62,6 +65,7 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
             sample_strips=sample_strips,
             sample_steps=sample_steps,
             seed=seed,
+            strip_engine=strip_engine,
         )
 
     def _phase_energy(

@@ -46,7 +46,10 @@ _MAX_ALIGNMENT = np.int64(48)
 class ScheduleResult:
     """Vectorized schedule outcome for a batch of groups.
 
-    All arrays are indexed ``[group]`` or ``[group, lane]``.
+    All arrays are indexed ``[..., ]`` or ``[..., lane]``, where ``...``
+    is whatever leading batch shape the operands carried -- a flat
+    ``[group]`` axis for PE-level batches, ``[col, step]`` for one tile
+    strip, ``[strip, col, step]`` for a batched strip stack.
 
     Attributes:
         cycles: schedule length per group (>= 1).
@@ -114,23 +117,23 @@ def group_term_weights(
     """Expand a batch of groups into per-term alignment offsets.
 
     Args:
-        a_values: serial-side operands, shape ``[groups, lanes]``,
-            bfloat16-representable.
+        a_values: serial-side operands, shape ``[..., lanes]`` with any
+            leading batch shape, bfloat16-representable.
         b_values: parallel-side operands, same shape (only their
             exponents matter for timing).
-        eacc: accumulator exponent per group (int64 ``[groups]``), or
-            None for zero accumulators.
+        eacc: accumulator exponent per group (int64 of the leading
+            batch shape), or None for zero accumulators.
         config: PE parameters (shift window, OB skipping, threshold).
 
     Returns:
         Tuple ``(k, kept, zero_slots, ob_skipped, emax)``:
 
-        * ``k``: int64 ``[groups, lanes, MAX_TERMS]`` ascending alignment
+        * ``k``: int64 ``[..., lanes, MAX_TERMS]`` ascending alignment
           offsets, ``_K_SENTINEL``-padded beyond ``kept``;
-        * ``kept``: int64 ``[groups, lanes]`` terms surviving OB skipping;
-        * ``zero_slots``: int64 ``[groups, lanes]`` never-encoded slots;
-        * ``ob_skipped``: int64 ``[groups, lanes]`` OB-discarded terms;
-        * ``emax``: int64 ``[groups]`` round maximum exponents.
+        * ``kept``: int64 ``[..., lanes]`` terms surviving OB skipping;
+        * ``zero_slots``: int64 ``[..., lanes]`` never-encoded slots;
+        * ``ob_skipped``: int64 ``[..., lanes]`` OB-discarded terms;
+        * ``emax``: int64 ``[...]`` round maximum exponents.
     """
     a_exp, a_zero = operand_exponents_and_zero(a_values)
     b_exp, b_zero = operand_exponents_and_zero(b_values)
@@ -140,7 +143,7 @@ def group_term_weights(
     # operand's -127 exponent field could otherwise outvote a genuinely
     # tiny product.  _ZERO_ROUND_EXP marks an all-zero round.
     live = ~(a_zero | b_zero)
-    emax = np.where(live, abe, _ZERO_ROUND_EXP).max(axis=1)
+    emax = np.where(live, abe, _ZERO_ROUND_EXP).max(axis=-1)
     if eacc is not None:
         emax = np.maximum(emax, np.asarray(eacc, dtype=np.int64))
     count, power, _ = term_positions(a_values)
@@ -148,15 +151,15 @@ def group_term_weights(
     # the term axis.  Clamped at 0: shift distances are unsigned, and a
     # zero-product lane (masked out of emax above) can sit above the
     # round base -- its terms clamp there, as in the scalar PE.
-    k = (emax[:, None, None] - abe[:, :, None]) + (_BF16_FRAC - power)
+    k = (emax[..., None, None] - abe[..., None]) + (_BF16_FRAC - power)
     slot = np.arange(MAX_TERMS, dtype=np.int64)
-    valid = slot[None, None, :] < count[:, :, None]
+    valid = slot < count[..., None]
     k = np.where(valid, np.maximum(k, 0), _K_SENTINEL)
     zero_slots = TERM_SLOTS - count
     threshold = config.accumulator.ob_threshold
     if config.ob_skip:
         out_of_bounds = valid & (k > threshold)
-        ob_skipped = out_of_bounds.sum(axis=2)
+        ob_skipped = out_of_bounds.sum(axis=-1)
         kept = count - ob_skipped
         k = np.where(out_of_bounds, _K_SENTINEL, k)
     else:
@@ -187,10 +190,12 @@ def schedule_groups(
     """Simulate the PE schedule for a batch of independent groups.
 
     Args:
-        a_values: serial-side operands ``[groups, lanes]``.
-        b_values: parallel-side operands ``[groups, lanes]``.
+        a_values: serial-side operands ``[..., lanes]`` (any leading
+            batch shape, e.g. ``[groups]`` or ``[strip, col, step]``).
+        b_values: parallel-side operands, same shape.
         config: PE parameters (defaults to the paper's).
-        eacc: optional accumulator exponent per group.
+        eacc: optional accumulator exponent per group (leading batch
+            shape).
 
     Returns:
         The per-group :class:`ScheduleResult`.
@@ -211,18 +216,29 @@ def schedule_from_weights(
 ) -> ScheduleResult:
     """Run the cycle loop over pre-expanded term offsets.
 
+    Groups are scheduled independently, so any leading batch shape
+    (``[groups]``, ``[col, step]``, ``[strip, col, step]``...) is
+    accepted; the loop runs over the flattened batch and the result
+    arrays come back in the leading shape.  Batching strips this way is
+    what makes the tile-level engine fast: the cycle loop's iteration
+    count is the *maximum* schedule length over the batch, not the sum.
+
     Args:
-        k: ``[groups, lanes, MAX_TERMS]`` ascending offsets, sentinel
+        k: ``[..., lanes, MAX_TERMS]`` ascending offsets, sentinel
             padded.
-        kept: ``[groups, lanes]`` surviving term counts.
-        zero_slots: ``[groups, lanes]`` never-encoded slots.
-        ob_skipped: ``[groups, lanes]`` OB-discarded terms.
+        kept: ``[..., lanes]`` surviving term counts.
+        zero_slots: ``[..., lanes]`` never-encoded slots.
+        ob_skipped: ``[..., lanes]`` OB-discarded terms.
         config: PE parameters (shift window).
 
     Returns:
-        The per-group :class:`ScheduleResult`.
+        The per-group :class:`ScheduleResult` in the leading shape.
     """
-    groups, lanes, _ = k.shape
+    batch_shape = k.shape[:-2]
+    lanes, n_terms = k.shape[-2], k.shape[-1]
+    k = k.reshape(-1, lanes, n_terms)
+    kept = kept.reshape(-1, lanes)
+    groups = k.shape[0]
     index = np.zeros((groups, lanes), dtype=np.int64)
     useful = np.zeros((groups, lanes), dtype=np.int64)
     shift_stall = np.zeros((groups, lanes), dtype=np.int64)
@@ -254,12 +270,125 @@ def schedule_from_weights(
     if empty.any():
         cycles = np.where(empty, 1, cycles)
         no_term += empty[:, None].astype(np.int64)
+    lane_shape = batch_shape + (lanes,)
     return ScheduleResult(
-        cycles=cycles,
-        useful=useful,
-        shift_stall=shift_stall,
-        no_term=no_term,
-        terms_processed=kept,
-        terms_zero_skipped=zero_slots,
-        terms_ob_skipped=ob_skipped,
+        cycles=cycles.reshape(batch_shape),
+        useful=useful.reshape(lane_shape),
+        shift_stall=shift_stall.reshape(lane_shape),
+        no_term=no_term.reshape(lane_shape),
+        terms_processed=kept.reshape(lane_shape),
+        terms_zero_skipped=zero_slots.reshape(lane_shape),
+        terms_ob_skipped=ob_skipped.reshape(lane_shape),
+    )
+
+
+def schedule_from_weights_compact(
+    k: np.ndarray,
+    kept: np.ndarray,
+    zero_slots: np.ndarray,
+    ob_skipped: np.ndarray,
+    config: PEConfig,
+) -> ScheduleResult:
+    """Compacting variant of :func:`schedule_from_weights`.
+
+    Bit-identical per-group results (the cross-check suite enforces it),
+    but groups are *evicted* from the working set the cycle after they
+    retire their last term, so each iteration's numpy work shrinks with
+    the surviving population: total work is the sum of per-group
+    schedule lengths rather than (iterations x batch size).  This is the
+    loop behind the batched strip engine, where a whole
+    ``[strip, col, step]`` stack shares one working set.
+
+    Args:
+        k: ``[..., lanes, MAX_TERMS]`` ascending offsets, sentinel
+            padded.
+        kept: ``[..., lanes]`` surviving term counts.
+        zero_slots: ``[..., lanes]`` never-encoded slots.
+        ob_skipped: ``[..., lanes]`` OB-discarded terms.
+        config: PE parameters (shift window).
+
+    Returns:
+        The per-group :class:`ScheduleResult` in the leading shape.
+    """
+    batch_shape = k.shape[:-2]
+    lanes, n_terms = k.shape[-2], k.shape[-1]
+    k_live = np.ascontiguousarray(k.reshape(-1, lanes, n_terms))
+    kept_live = np.ascontiguousarray(kept.reshape(-1, lanes))
+    groups = k_live.shape[0]
+    cycles = np.zeros(groups, dtype=np.int64)
+    useful = np.zeros((groups, lanes), dtype=np.int64)
+    shift_stall = np.zeros((groups, lanes), dtype=np.int64)
+    no_term = np.zeros((groups, lanes), dtype=np.int64)
+    live = np.arange(groups)
+    index = np.zeros((groups, lanes), dtype=np.int64)
+    cycles_live = cycles
+    useful_live = useful
+    shift_live = shift_stall
+    no_term_live = no_term
+    window = config.shift_window
+    last_slot = n_terms - 1
+    # Flat gather base for the current-term lookup (cheaper than
+    # take_along_axis in the hot loop); rebuilt after each compaction.
+    flat_base = (
+        np.arange(groups)[:, None] * lanes + np.arange(lanes)
+    ) * n_terms
+    k_flat = k_live.reshape(-1)
+    while live.size:
+        pending = index < kept_live
+        alive = pending.any(axis=1)
+        n_alive = int(alive.sum())
+        if n_alive * 5 < live.size * 3:
+            # Enough groups retired (> 40%): write their ledgers home
+            # and shrink the working set.  Compacting lazily keeps the
+            # per-iteration cost of the scatter/gather well below the
+            # ufunc work it saves; retired groups that linger until the
+            # next sweep accumulate nothing (every add below is gated).
+            done = ~alive
+            home = live[done]
+            cycles[home] = cycles_live[done]
+            useful[home] = useful_live[done]
+            shift_stall[home] = shift_live[done]
+            no_term[home] = no_term_live[done]
+            live = live[alive]
+            if not live.size:
+                break
+            k_live = np.ascontiguousarray(k_live[alive])
+            kept_live = kept_live[alive]
+            index = index[alive]
+            pending = pending[alive]
+            cycles_live = cycles_live[alive]
+            useful_live = useful_live[alive]
+            shift_live = shift_live[alive]
+            no_term_live = no_term_live[alive]
+            flat_base = flat_base[: live.size]
+            k_flat = k_live.reshape(-1)
+            alive = None  # every group in the set is now alive
+        current = k_flat[flat_base + np.minimum(index, last_slot)]
+        current = np.where(pending, current, _K_SENTINEL)
+        base = current.min(axis=1)
+        fire = pending & (current - base[:, None] <= window)
+        useful_live += fire
+        index += fire
+        shift_live += pending & ~fire
+        if alive is None:
+            no_term_live += ~pending
+            cycles_live += 1
+        else:
+            no_term_live += (~pending) & alive[:, None]
+            cycles_live += alive
+    # A group with no terms at all still costs its one exponent cycle,
+    # with every lane idle.
+    empty = cycles == 0
+    if empty.any():
+        cycles = np.where(empty, 1, cycles)
+        no_term += empty[:, None].astype(np.int64)
+    lane_shape = batch_shape + (lanes,)
+    return ScheduleResult(
+        cycles=cycles.reshape(batch_shape),
+        useful=useful.reshape(lane_shape),
+        shift_stall=shift_stall.reshape(lane_shape),
+        no_term=no_term.reshape(lane_shape),
+        terms_processed=kept.reshape(lane_shape),
+        terms_zero_skipped=zero_slots.reshape(lane_shape),
+        terms_ob_skipped=ob_skipped.reshape(lane_shape),
     )

@@ -112,6 +112,30 @@ def term_count(values: np.ndarray) -> np.ndarray:
     return np.where(is_zero, 0, counts)
 
 
+def term_count_powers(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lean :func:`term_positions`: counts and digit positions only.
+
+    For timing-model callers that mask padded slots themselves (via the
+    count), the sign expansion and the zero-value blanking pass of
+    :func:`term_positions` are pure overhead -- this variant skips both.
+    Slots at or beyond ``count`` carry the LUT's ``-1`` padding (zero
+    values have ``count`` 0, so every slot of theirs is padding).
+
+    Args:
+        values: array representable in bfloat16, any shape ``S``.
+
+    Returns:
+        ``(count, power)``: int64 of shapes ``S`` and
+        ``S + (MAX_TERMS,)``.
+    """
+    _, _, man, is_zero = bf16_fields(values)
+    man_idx = np.where(is_zero, 0, man)
+    count = np.where(is_zero, 0, _LUT_COUNT[man_idx])
+    return count, _LUT_POWER[man_idx]
+
+
 def term_positions(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized CSD expansion of an array of bfloat16 values.
 

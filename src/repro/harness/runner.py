@@ -118,7 +118,7 @@ def canonical_key(
 
 def execute_request(
     request: SimRequest,
-    sample_strips: int = 4,
+    sample_strips: int = 8,
     sample_steps: int = 32,
     sim_seed: int = 1234,
 ) -> WorkloadResult:
@@ -185,8 +185,9 @@ class SimulationSession:
         jobs: worker processes for :meth:`prefetch` fan-out (1 = serial).
         cache_dir: directory for on-disk result persistence (None
             disables it).
-        sample_strips: operand strips per layer-phase (simulator default
-            4; tests pass less for speed).
+        sample_strips: operand strips per layer-phase (default 8 -- the
+            batched strip engine makes strips cheap; tests pass less for
+            speed).
         sample_steps: reduction groups per strip (default 32).
         sim_seed: operand-sampling RNG seed (default 1234).
     """
@@ -195,7 +196,7 @@ class SimulationSession:
         self,
         jobs: int = 1,
         cache_dir: str | os.PathLike | None = None,
-        sample_strips: int = 4,
+        sample_strips: int = 8,
         sample_steps: int = 32,
         sim_seed: int = 1234,
     ) -> None:

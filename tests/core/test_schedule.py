@@ -106,6 +106,55 @@ class TestScheduleInvariants:
         assert hot.cycles.sum() <= cold.cycles.sum()
 
 
+class TestLeadingBatchDims:
+    """The schedule API accepts any leading batch shape (the batched
+    strip engine hands it [strip, col, step] stacks)."""
+
+    def test_matches_flat_layout(self, rng):
+        a, b = _random_groups(rng, 120)
+        flat = schedule_groups(a, b)
+        shaped = schedule_groups(
+            a.reshape(4, 5, 6, 8), b.reshape(4, 5, 6, 8)
+        )
+        assert shaped.cycles.shape == (4, 5, 6)
+        assert shaped.useful.shape == (4, 5, 6, 8)
+        assert np.array_equal(shaped.cycles.reshape(-1), flat.cycles)
+        assert np.array_equal(shaped.useful.reshape(-1, 8), flat.useful)
+        assert np.array_equal(
+            shaped.terms_ob_skipped.reshape(-1, 8), flat.terms_ob_skipped
+        )
+        assert shaped.groups == flat.groups
+        assert shaped.total_cycles() == flat.total_cycles()
+
+    def test_eacc_in_leading_shape(self, rng):
+        a, b = _random_groups(rng, 60)
+        eacc = rng.integers(-10, 20, 60)
+        flat = schedule_groups(a, b, eacc=eacc)
+        shaped = schedule_groups(
+            a.reshape(3, 20, 8), b.reshape(3, 20, 8), eacc=eacc.reshape(3, 20)
+        )
+        assert np.array_equal(shaped.cycles.reshape(-1), flat.cycles)
+
+    def test_compact_loop_matches_plain(self, rng):
+        """schedule_from_weights_compact is the batched engine's loop:
+        identical per-group outcomes to schedule_from_weights."""
+        from repro.core.schedule import (
+            group_term_weights,
+            schedule_from_weights,
+            schedule_from_weights_compact,
+        )
+
+        a, b = _random_groups(rng, 400, exp_range=8)
+        config = PEConfig()
+        k, kept, zero_slots, ob, _ = group_term_weights(a, b, None, config)
+        plain = schedule_from_weights(k, kept, zero_slots, ob, config)
+        compact = schedule_from_weights_compact(k, kept, zero_slots, ob, config)
+        assert np.array_equal(plain.cycles, compact.cycles)
+        assert np.array_equal(plain.useful, compact.useful)
+        assert np.array_equal(plain.shift_stall, compact.shift_stall)
+        assert np.array_equal(plain.no_term, compact.no_term)
+
+
 class TestOperandExponents:
     def test_zero_reads_as_minimum(self):
         exps = operand_exponents(np.array([0.0, 1.0, 4.0]))

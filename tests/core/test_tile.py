@@ -51,6 +51,19 @@ class TestAccumulatorExponents:
         assert warm[:, :, 0].min() >= 19  # log2(1e6) ~ 19.9
         assert np.all(warm[:, :, 0] > cold[:, :, 0])
 
+    def test_batched_axis_matches_per_strip(self, rng):
+        """A [strip, ...] stack evolves each strip independently."""
+        a0, b0 = _strip(rng, steps=10)
+        a1, b1 = _strip(rng, steps=10)
+        a = np.stack([a0, a1])
+        b = np.stack([b0, b1])
+        init = rng.normal(0, 1e4, (2, 8, 8))
+        batch = accumulator_exponents(a, b, init)
+        assert batch.shape == (2, 8, 8, 10)
+        for i in range(2):
+            single = accumulator_exponents(a[i], b[i], init[i])
+            assert np.array_equal(batch[i], single)
+
 
 class TestTileSimulator:
     def test_shape_validation(self, rng):
