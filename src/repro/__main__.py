@@ -8,12 +8,17 @@ Usage::
     python -m repro run all --jobs 4     # everything, 4 worker processes
     python -m repro run fig11 --format json --out results/
     python -m repro run all --cache .repro-cache   # warm reruns
+    python -m repro run memory_profile             # traffic-engine profile
+    python -m repro run fig15 --memory-engine hierarchy
 
 All simulation-driven experiments share one
 :class:`repro.harness.runner.SimulationSession`, so ``run all`` performs
 each unique ``(model, config, progress, seed, acc_profile)`` simulation
 exactly once; ``--jobs`` fans cache misses out over worker processes and
 ``--cache`` persists results on disk across invocations.
+``--memory-engine hierarchy`` prices off-chip traffic with the
+event-level memory hierarchy (container bursts, bank conflicts,
+transposer occupancy) instead of the flat roofline.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ EXPERIMENTS = {
     "fig18": experiments.run_fig18_over_time,
     "fig19-20": experiments.run_fig19_20_rows,
     "fig21": experiments.run_fig21_accwidth,
+    "memory_profile": experiments.run_memory_profile,
     "pragmatic": experiments.run_pragmatic_comparison,
     "ext-precision": run_precision_schedule,
     "ext-inference": run_inference_extension,
@@ -58,7 +64,8 @@ EXPERIMENTS = {
 # Experiments that accept a `models` keyword.
 _MODEL_AWARE = {
     "fig1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig18", "fig19-20", "pragmatic", "ext-inference",
+    "fig15", "fig16", "fig18", "fig19-20", "memory_profile", "pragmatic",
+    "ext-inference",
 }
 
 
@@ -144,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="persist simulation results under DIR (warm reruns)",
     )
+    runner.add_argument(
+        "--memory-engine",
+        choices=("roofline", "hierarchy"),
+        default="roofline",
+        help="memory model for FPRaker simulations (default: roofline)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -169,7 +182,9 @@ def main(argv: list[str] | None = None) -> int:
         if value is not None and Path(value).exists() and not Path(value).is_dir():
             print(f"{flag} {value!r} is not a directory", file=sys.stderr)
             return 2
-    session = SimulationSession(jobs=args.jobs, cache_dir=args.cache)
+    session = SimulationSession(
+        jobs=args.jobs, cache_dir=args.cache, memory_engine=args.memory_engine
+    )
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)

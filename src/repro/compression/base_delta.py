@@ -361,3 +361,23 @@ def unpack_groups(data: bytes, n_groups: int) -> list[CompressedGroup]:
             CompressedGroup(base=base, precision=precision, deltas=deltas)
         )
     return groups
+
+
+def mean_compression_ratio(values_a, values_b) -> float:
+    """Effective/raw byte ratio of a phase's two operand streams.
+
+    The single averaging rule shared by the accelerator's off-chip
+    pricing (:meth:`AcceleratorSimulator._effective_dram_bytes`) and
+    the traffic engine's roofline comparison: the unweighted mean of
+    both tensors' whole-value compression ratios.
+
+    Args:
+        values_a: first operand's value sample.
+        values_b: second operand's value sample.
+
+    Returns:
+        The mean ``compressed / raw`` byte ratio.
+    """
+    ratio_a = compression_summary(values_a).total_ratio
+    ratio_b = compression_summary(values_b).total_ratio
+    return (ratio_a + ratio_b) / 2.0

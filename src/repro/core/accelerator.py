@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.compression.base_delta import compression_summary
+from repro.compression.base_delta import mean_compression_ratio
 from repro.core.config import AcceleratorConfig, fpraker_paper_config
 from repro.core.stats import SimCounters
 from repro.core.tile import TileSimulator
@@ -27,6 +27,7 @@ from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.fp.accumulator import AccumulatorSpec
 from repro.fp.bfloat16 import bf16_quantize
 from repro.memory.dram import DRAMModel
+from repro.memory.traffic import TRANSPOSERS_PER_TILE, phase_traffic
 
 
 @dataclass
@@ -311,6 +312,15 @@ class AcceleratorSimulator:
             runs the per-strip reference loop.  Both consume the same
             operand draw and produce bit-identical results (cross-checked
             in the test suite).
+        memory_engine: ``"roofline"`` (the reference) prices off-chip
+            traffic as flat bytes-over-bandwidth; ``"hierarchy"`` runs
+            the event-level traffic engine
+            (:mod:`repro.memory.traffic`): container-granular DRAM
+            bursts, global-buffer bank stalls, transposer occupancy,
+            and scratchpad fills.  Compute cycles and activity counters
+            are bit-identical between the two; only the memory-bound
+            cycles (never below the roofline's), off-chip bytes, and
+            on-chip energy can differ.
     """
 
     def __init__(
@@ -322,9 +332,12 @@ class AcceleratorSimulator:
         sample_steps: int = 32,
         seed: int = 1234,
         strip_engine: str = "batched",
+        memory_engine: str = "roofline",
     ) -> None:
         if strip_engine not in ("batched", "serial"):
             raise ValueError(f"unknown strip engine {strip_engine!r}")
+        if memory_engine not in ("roofline", "hierarchy"):
+            raise ValueError(f"unknown memory engine {memory_engine!r}")
         self.config = config if config is not None else fpraker_paper_config()
         self.energy = energy if energy is not None else EnergyModel()
         self.dram = dram if dram is not None else DRAMModel()
@@ -332,6 +345,7 @@ class AcceleratorSimulator:
         self.sample_steps = sample_steps
         self.seed = seed
         self.strip_engine = strip_engine
+        self.memory_engine = memory_engine
 
     def simulate_phase(self, workload: PhaseWorkload) -> LayerPhaseResult:
         """Simulate one layer-phase and scale to its full MAC count.
@@ -432,6 +446,22 @@ class AcceleratorSimulator:
         dram_bytes_raw = workload.total_bytes
         dram_bytes = self._effective_dram_bytes(workload, serial, parallel)
         dram_cycles = self.dram.transfer_cycles(dram_bytes, cfg.clock_mhz)
+        if self.memory_engine == "hierarchy":
+            # Event-level path: same compute counters, but the
+            # memory-bound cycles come from container bursts, bank
+            # stalls, and transposer occupancy.  Container padding only
+            # adds bytes, so hierarchy cycles are >= the roofline's.
+            ratio = dram_bytes / dram_bytes_raw if dram_bytes_raw else 1.0
+            traffic = phase_traffic(
+                workload,
+                dram=self.dram,
+                clock_mhz=cfg.clock_mhz,
+                transposer_units=cfg.tiles * TRANSPOSERS_PER_TILE,
+                compression_ratio=ratio,
+            )
+            counters.memory = traffic
+            dram_bytes = traffic.dram_bytes
+            dram_cycles = traffic.memory_cycles
         cycles = max(compute_cycles, dram_cycles)
         energy = self._phase_energy(workload, counters, dram_bytes, tile_cfg)
         return LayerPhaseResult(
@@ -494,9 +524,7 @@ class AcceleratorSimulator:
         raw = workload.total_bytes
         if not self.config.base_delta_compression or raw == 0:
             return raw
-        ratio_a = compression_summary(serial).total_ratio
-        ratio_b = compression_summary(parallel).total_ratio
-        return raw * (ratio_a + ratio_b) / 2.0
+        return raw * mean_compression_ratio(serial, parallel)
 
     def _phase_energy(
         self,
@@ -508,9 +536,17 @@ class AcceleratorSimulator:
         """Energy breakdown of the phase from its activity counters."""
         core = self.energy.fpraker_core_energy(counters, lanes=tile_cfg.pe.lanes)
         on_chip_bytes = self._on_chip_bytes(workload, tile_cfg)
+        on_chip = self.energy.on_chip_energy(on_chip_bytes)
+        if counters.memory is not None:
+            # The hierarchy engine tracks operand staging through the
+            # per-tile scratchpads; those fills accrue on-chip energy
+            # the roofline path cannot see.
+            on_chip += self.energy.scratchpad_energy(
+                counters.memory.scratchpad_bytes
+            )
         return EnergyBreakdown(
             core=core,
-            on_chip=self.energy.on_chip_energy(on_chip_bytes),
+            on_chip=on_chip,
             off_chip=self.energy.off_chip_energy(dram_bytes),
         )
 

@@ -46,6 +46,8 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         seed: RNG seed.
         strip_engine: ``"batched"`` (default) or the ``"serial"``
             reference loop.
+        memory_engine: ``"roofline"`` (default) or the event-level
+            ``"hierarchy"`` traffic engine.
     """
 
     def __init__(
@@ -57,6 +59,7 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         sample_steps: int = 32,
         seed: int = 1234,
         strip_engine: str = "batched",
+        memory_engine: str = "roofline",
     ) -> None:
         super().__init__(
             config=config if config is not None else pragmatic_paper_config(),
@@ -66,6 +69,7 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
             sample_steps=sample_steps,
             seed=seed,
             strip_engine=strip_engine,
+            memory_engine=memory_engine,
         )
 
     def _phase_energy(
@@ -83,8 +87,13 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
             accumulation=base.accumulation * _ACCUM_SCALE,
         )
         on_chip_bytes = self._on_chip_bytes(workload, tile_cfg)
+        on_chip = self.energy.on_chip_energy(on_chip_bytes)
+        if counters.memory is not None:
+            on_chip += self.energy.scratchpad_energy(
+                counters.memory.scratchpad_bytes
+            )
         return EnergyBreakdown(
             core=core,
-            on_chip=self.energy.on_chip_energy(on_chip_bytes),
+            on_chip=on_chip,
             off_chip=self.energy.off_chip_energy(dram_bytes),
         )

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.memory.traffic import MemoryTrafficResult
+
 
 @dataclass
 class LaneLedger:
@@ -155,6 +157,10 @@ class SimCounters:
         terms: term-level breakdown.
         exponent_invocations: exponent-block activations (one per group).
         accumulator_updates: accumulator register writes.
+        memory: event-level memory-hierarchy activity; None when the
+            simulation ran under the roofline memory engine (keeps the
+            serialized form -- and therefore cached results -- of
+            roofline runs unchanged).
     """
 
     cycles: float = 0.0
@@ -164,6 +170,7 @@ class SimCounters:
     terms: TermLedger = field(default_factory=TermLedger)
     exponent_invocations: float = 0.0
     accumulator_updates: float = 0.0
+    memory: MemoryTrafficResult | None = None
 
     def add(self, other: "SimCounters", weight: float = 1.0) -> None:
         """Accumulate another counter set, optionally scaled."""
@@ -174,10 +181,19 @@ class SimCounters:
         self.terms.add(other.terms, weight)
         self.exponent_invocations += other.exponent_invocations * weight
         self.accumulator_updates += other.accumulator_updates * weight
+        if other.memory is not None:
+            if self.memory is None:
+                self.memory = MemoryTrafficResult()
+            self.memory.add(other.memory, weight)
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (exact float round-trip)."""
-        return {
+        """JSON-serializable form (exact float round-trip).
+
+        The ``memory`` key is present only for hierarchy-engine runs, so
+        roofline results serialize exactly as they did before the
+        memory counters existed.
+        """
+        data = {
             "cycles": self.cycles,
             "groups": self.groups,
             "macs": self.macs,
@@ -186,10 +202,14 @@ class SimCounters:
             "exponent_invocations": self.exponent_invocations,
             "accumulator_updates": self.accumulator_updates,
         }
+        if self.memory is not None:
+            data["memory"] = self.memory.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimCounters":
         """Rebuild counters from :meth:`to_dict` output."""
+        memory = data.get("memory")
         return cls(
             cycles=float(data["cycles"]),
             groups=float(data["groups"]),
@@ -198,4 +218,9 @@ class SimCounters:
             terms=TermLedger.from_dict(data["terms"]),
             exponent_invocations=float(data["exponent_invocations"]),
             accumulator_updates=float(data["accumulator_updates"]),
+            memory=(
+                MemoryTrafficResult.from_dict(memory)
+                if memory is not None
+                else None
+            ),
         )

@@ -22,6 +22,47 @@ import numpy as np
 PHASES = ("AxW", "GxW", "AxG")
 
 
+@dataclass(frozen=True)
+class StreamSpec:
+    """One operand or result stream of a layer-phase.
+
+    The memory-traffic engine (:mod:`repro.memory.traffic`) turns these
+    per-stream descriptions into container/burst schedules: container
+    counts follow ``shape`` (padding included), global-buffer bank
+    behavior follows ``stride_values``, and transposed streams occupy
+    the 8x8 transposer units.
+
+    Attributes:
+        tensor: tensor letter ("A", "W" or "G") the stream carries.
+        direction: ``"read"`` (DRAM/GB -> PEs) or ``"write"``
+            (PEs -> GB/DRAM).
+        volume_bytes: total stream volume moved on-chip (always paid,
+            whether or not the tensor spills off-chip).
+        dram_bytes: off-chip portion of the stream (0 when the tensor
+            fits its global-buffer partition).
+        shape: (channels, rows, columns) of one stored copy of the
+            tensor, or None when no container geometry is known.
+        copies: stored copies streamed (batch x folded layer count).
+        stride_values: stride, in bfloat16 values, between consecutive
+            global-buffer fetch addresses of the stream.
+        transposed: stream passes through the 8x8 transposers (the
+            backward pass's weight / activation-gradient reordering).
+    """
+
+    tensor: str
+    direction: str
+    volume_bytes: float
+    dram_bytes: float = 0.0
+    shape: tuple[int, int, int] | None = None
+    copies: float = 1.0
+    stride_values: int = 8
+    transposed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("read", "write"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
 @dataclass
 class PhaseWorkload:
     """One layer-phase of training work.
@@ -43,6 +84,9 @@ class PhaseWorkload:
             (Sakr et al. profiling, Fig 21); None keeps the config's.
         weight: relative frequency weight when aggregating (e.g. when a
             sampled layer stands for several identical ones).
+        streams: per-stream memory descriptions consumed by the
+            hierarchy traffic engine; empty means "unknown geometry"
+            and the engine falls back to byte totals.
     """
 
     model: str
@@ -58,6 +102,7 @@ class PhaseWorkload:
     output_bytes: float = 0.0
     acc_frac_bits: int | None = None
     weight: float = 1.0
+    streams: tuple[StreamSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.phase not in PHASES:

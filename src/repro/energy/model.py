@@ -255,6 +255,18 @@ class EnergyModel:
         """
         return nbytes * self.global_buffer_pj_per_byte / 1e3
 
+    def scratchpad_energy(self, nbytes: float) -> float:
+        """Per-tile scratchpad access energy in nJ.
+
+        Scratchpad fills are tracked by the hierarchy memory engine
+        (:mod:`repro.memory.traffic`); the roofline engine moves no
+        bytes through here.
+
+        Args:
+            nbytes: bytes staged through the scratchpads.
+        """
+        return nbytes * self.scratchpad_pj_per_byte / 1e3
+
     def off_chip_energy(self, nbytes: float) -> float:
         """DRAM transfer energy in nJ.
 

@@ -26,7 +26,9 @@ from repro.core.accelerator import WorkloadResult
 # Bump when the result schema or simulator semantics change; stale
 # entries from older versions then read as misses instead of poisoning
 # warm runs.
-CACHE_VERSION = 1
+# v2: canonical keys carry the memory engine and counters may embed a
+# MemoryTrafficResult (hierarchy runs).
+CACHE_VERSION = 2
 
 
 class ResultCache:

@@ -94,17 +94,22 @@ def canonical_key(
     sample_strips: int,
     sample_steps: int,
     sim_seed: int,
+    memory_engine: str = "roofline",
 ) -> str:
     """Stable string key identifying a simulation's full input set.
 
     Two requests that resolve to the same configuration (e.g. ``None``
     and an explicitly-constructed paper config) share a key; any change
-    to the config tree, the workload parameters, or the sampling setup
-    produces a distinct key.
+    to the config tree, the workload parameters, the sampling setup, or
+    the memory engine produces a distinct key.  The analytic baseline
+    is priced identically under both memory engines, so its keys ignore
+    the engine -- roofline and hierarchy sessions share one cached
+    baseline per (model, progress, seed).
     """
+    config = request.resolved_config()
     spec = {
         "model": request.model,
-        "config": asdict(request.resolved_config()),
+        "config": asdict(config),
         "progress": request.progress,
         "seed": request.seed,
         "acc_profile": list(request.acc_profile or ()),
@@ -112,6 +117,9 @@ def canonical_key(
         "sample_strips": sample_strips,
         "sample_steps": sample_steps,
         "sim_seed": sim_seed,
+        "memory_engine": (
+            "roofline" if config.name == "baseline" else memory_engine
+        ),
     }
     return json.dumps(spec, sort_keys=True, separators=(",", ":"))
 
@@ -121,6 +129,7 @@ def execute_request(
     sample_strips: int = 8,
     sample_steps: int = 32,
     sim_seed: int = 1234,
+    memory_engine: str = "roofline",
 ) -> WorkloadResult:
     """Run one simulation cold (module-level so worker processes can
     receive it by name).
@@ -130,6 +139,9 @@ def execute_request(
         sample_strips: operand strips sampled per layer-phase.
         sample_steps: reduction groups per strip.
         sim_seed: operand-sampling RNG seed.
+        memory_engine: ``"roofline"`` or ``"hierarchy"`` (FPRaker-style
+            simulators only; the analytic baseline is roofline-priced
+            either way).
 
     Returns:
         The simulated :class:`WorkloadResult`.
@@ -157,6 +169,7 @@ def execute_request(
         sample_strips=sample_strips,
         sample_steps=sample_steps,
         seed=sim_seed,
+        memory_engine=memory_engine,
     )
     return simulator.simulate_workload(workloads)
 
@@ -190,6 +203,10 @@ class SimulationSession:
             speed).
         sample_steps: reduction groups per strip (default 32).
         sim_seed: operand-sampling RNG seed (default 1234).
+        memory_engine: memory model every FPRaker-style simulation in
+            the session runs under -- ``"roofline"`` (default) or the
+            event-level ``"hierarchy"`` engine.  Part of the canonical
+            key, so both engines' results can share one disk cache.
     """
 
     def __init__(
@@ -199,11 +216,15 @@ class SimulationSession:
         sample_strips: int = 8,
         sample_steps: int = 32,
         sim_seed: int = 1234,
+        memory_engine: str = "roofline",
     ) -> None:
+        if memory_engine not in ("roofline", "hierarchy"):
+            raise ValueError(f"unknown memory engine {memory_engine!r}")
         self.jobs = max(1, int(jobs))
         self.sample_strips = sample_strips
         self.sample_steps = sample_steps
         self.sim_seed = sim_seed
+        self.memory_engine = memory_engine
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = SessionStats()
         self._memo: dict[str, WorkloadResult] = {}
@@ -213,7 +234,11 @@ class SimulationSession:
     def key_of(self, request: SimRequest) -> str:
         """Canonical key of a request under this session's sampling."""
         return canonical_key(
-            request, self.sample_strips, self.sample_steps, self.sim_seed
+            request,
+            self.sample_strips,
+            self.sample_steps,
+            self.sim_seed,
+            self.memory_engine,
         )
 
     @property
@@ -305,6 +330,7 @@ class SimulationSession:
                         self.sample_strips,
                         self.sample_steps,
                         self.sim_seed,
+                        self.memory_engine,
                     )
                     for _, request in items
                 ]
@@ -337,5 +363,9 @@ class SimulationSession:
         """Run one cold simulation in-process."""
         self.stats.simulations += 1
         return execute_request(
-            request, self.sample_strips, self.sample_steps, self.sim_seed
+            request,
+            self.sample_strips,
+            self.sample_steps,
+            self.sim_seed,
+            self.memory_engine,
         )

@@ -28,6 +28,14 @@ class GlobalBuffer:
     writes: int = 0
     conflicts: int = 0
 
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ValueError(f"banks must be >= 1, got {self.banks}")
+        if self.access_bytes < 1:
+            raise ValueError(
+                f"access_bytes must be >= 1, got {self.access_bytes}"
+            )
+
     @property
     def capacity_bytes(self) -> int:
         """Total capacity."""
@@ -55,7 +63,8 @@ class GlobalBuffer:
             addresses: byte addresses issued in the same cycle.
 
         Returns:
-            Cycles to satisfy the burst (max accesses per bank).
+            Cycles to satisfy the burst (max accesses per bank); an
+            empty burst costs 0 cycles and records no accesses.
         """
         per_bank: dict[int, int] = {}
         for address in addresses:
@@ -75,11 +84,14 @@ class GlobalBuffer:
         Args:
             stride_values: stride between consecutive reads, in bfloat16
                 values.
-            accesses: number of reads.
+            accesses: number of reads (non-positive counts cost 0).
 
         Returns:
-            Total cycles (equals ``accesses`` when conflict-free).
+            Total cycles (``ceil(accesses / banks)`` when conflict-free;
+            a single access always costs exactly 1 cycle).
         """
+        if accesses <= 0:
+            return 0
         stride_bytes = stride_values * 2
         addresses = [i * stride_bytes for i in range(accesses)]
         total = 0
@@ -90,16 +102,26 @@ class GlobalBuffer:
 
 @dataclass
 class Scratchpad:
-    """Per-tile scratchpad (paper: 2 KB each), access-counting only."""
+    """Per-tile scratchpad (paper: 2 KB each), access-counting only.
+
+    Tracks access counts and moved bytes for callers driving the
+    hardware protocol directly.  (The traffic engine prices scratchpad
+    staging in closed form -- ``MemoryTrafficResult.scratchpad_bytes``
+    -- rather than through per-access calls here.)
+    """
 
     capacity_bytes: int = 2048
     reads: int = 0
     writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
 
     def read(self, nbytes: int = 16) -> None:
         """Record a read of ``nbytes``."""
         self.reads += 1
+        self.bytes_read += nbytes
 
     def write(self, nbytes: int = 16) -> None:
         """Record a write of ``nbytes``."""
         self.writes += 1
+        self.bytes_written += nbytes

@@ -9,6 +9,7 @@ row sizes so off-chip reads stay at streaming bandwidth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,15 +61,35 @@ def container_count(shape: tuple[int, int, int]) -> int:
     """Containers needed for a (channels, rows, columns) tensor.
 
     Args:
-        shape: tensor dimensions.
+        shape: tensor dimensions (all positive).
 
     Returns:
         Number of 32x32 containers, including edge padding.
     """
     channels, rows, columns = shape
+    if channels < 1 or rows < 1 or columns < 1:
+        raise ValueError(f"dimensions must be positive, got {shape}")
     c_tiles = -(-channels // CONTAINER_SIDE)
     k_tiles = -(-columns // CONTAINER_SIDE)
     return c_tiles * rows * k_tiles
+
+
+def containers_for_bytes(nbytes: float) -> int:
+    """Containers covering an opaque byte count (no geometry known).
+
+    The traffic engine's fallback when a workload carries no per-stream
+    shapes: bytes are assumed densely packed, rounded up to whole
+    containers.
+
+    Args:
+        nbytes: raw byte count (non-positive counts need no containers).
+
+    Returns:
+        Number of 32x32 containers.
+    """
+    if not nbytes > 0:  # also catches NaN
+        return 0
+    return math.ceil(nbytes / CONTAINER_BYTES)
 
 
 def pack_containers(tensor: np.ndarray) -> list[Container]:

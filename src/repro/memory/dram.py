@@ -61,9 +61,11 @@ class DRAMModel:
             clock_mhz: accelerator clock.
 
         Returns:
-            Transfer time in accelerator cycles.
+            Transfer time in accelerator cycles.  Zero-byte (or
+            negative, or NaN) transfers cost 0 cycles rather than
+            propagating NaN into the stall accounting.
         """
-        if nbytes <= 0:
+        if not nbytes > 0:  # also catches NaN, which fails every compare
             return 0.0
         return nbytes / self.bytes_per_cycle(clock_mhz)
 

@@ -14,6 +14,32 @@ import numpy as np
 
 BLOCK = 8
 
+# Hardware protocol cost of one 8x8 group: 8 row writes followed by 8
+# column reads, with no overlap between fill and drain of one unit.
+CYCLES_PER_BLOCK = 2 * BLOCK
+
+
+def transpose_throughput_cycles(blocks: float, units: int = 1) -> float:
+    """Cycles a bank of transposer units needs for ``blocks`` 8x8 groups.
+
+    Models steady-state occupancy: each unit turns one block around in
+    :data:`CYCLES_PER_BLOCK` cycles and the blocks of a stream spread
+    evenly over the available units.
+
+    Args:
+        blocks: number of 8x8 groups to transpose (fractional values
+            arise from extrapolated traffic and are allowed).
+        units: transposer units working in parallel.
+
+    Returns:
+        Occupancy in cycles (0 for non-positive ``blocks``).
+    """
+    if units < 1:
+        raise ValueError(f"units must be >= 1, got {units}")
+    if not blocks > 0:  # also catches NaN
+        return 0.0
+    return blocks * CYCLES_PER_BLOCK / units
+
 
 class Transposer:
     """One transposer unit with its 8x8 internal buffer.

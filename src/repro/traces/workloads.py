@@ -6,7 +6,8 @@ import zlib
 
 import numpy as np
 
-from repro.core.workload import PHASES, PhaseWorkload
+from repro.core.workload import PHASES, PhaseWorkload, StreamSpec
+from repro.memory.container import CONTAINER_SIDE
 from repro.models.zoo import LayerShape, ModelSpec, get_model
 from repro.traces.calibration import ModelCalibration
 from repro.traces.evolution import calibration_at
@@ -27,15 +28,74 @@ ACTIVATION_BUFFER_BYTES = 12 * 1024 * 1024
 GRADIENT_BUFFER_BYTES = 12 * 1024 * 1024
 
 
-def _phase_traffic(
+def _tensor_geometry(layer: LayerShape, model: ModelSpec, tensor: str):
+    """(shape, copies, fetch stride) of one stored tensor copy.
+
+    Shapes follow the container layout's (channels, rows, columns)
+    convention.  Conv activations/gradients are fetched walking the
+    spatial dimension of a channel-major layout, so consecutive
+    global-buffer accesses stride by the channel count; weights and
+    fully-connected operands stream sequentially (stride = one
+    8-value access line).
+    """
+    if tensor == "A":
+        shape = (layer.in_channels, layer.in_h, layer.in_w)
+        copies = float(model.batch * layer.count)
+        stride = layer.in_channels if layer.kind == "conv" else 8
+    elif tensor == "G":
+        shape = (layer.out_channels, layer.out_h, layer.out_w)
+        copies = float(model.batch * layer.count)
+        stride = layer.out_channels if layer.kind == "conv" else 8
+    elif tensor == "W":
+        shape = (
+            layer.in_channels,
+            layer.kernel,
+            layer.kernel * layer.out_channels,
+        )
+        copies = float(layer.count)
+        stride = 8
+    else:
+        raise ValueError(f"unknown tensor {tensor!r}")
+    return shape, copies, stride
+
+
+def _stream(
+    model: ModelSpec,
+    layer: LayerShape,
+    tensor: str,
+    direction: str,
+    volume: float,
+    spills: bool,
+    transposed: bool = False,
+) -> StreamSpec:
+    """One operand/result stream with its container geometry attached."""
+    shape, copies, stride = _tensor_geometry(layer, model, tensor)
+    return StreamSpec(
+        tensor=tensor,
+        direction=direction,
+        volume_bytes=volume,
+        dram_bytes=volume if spills else 0.0,
+        shape=shape,
+        copies=copies,
+        # Transposed streams walk the stored layout across container
+        # rows, one 32-value container row per step.
+        stride_values=CONTAINER_SIDE if transposed else stride,
+        transposed=transposed,
+    )
+
+
+def _phase_streams(
     model: ModelSpec, layer: LayerShape, phase: str
-) -> tuple[float, float]:
-    """Off-chip (input_bytes, output_bytes) of one layer-phase.
+) -> tuple[StreamSpec, ...]:
+    """Memory streams of one layer-phase, spill decisions applied.
 
     Traffic rules:
 
     * weights always stream from DRAM (the model store), and weight
-      gradients stream back to it (the optimizer consumes them);
+      gradients stream back to it (the optimizer consumes them); the
+      backward input-gradient pass reads the weights *transposed*
+      through the 8x8 transposer units, as does the weight-gradient
+      pass for the activation gradients (paper Section IV-E);
     * forward activations must persist until the backward pass, so they
       spill whenever the model's total activation footprint exceeds the
       activation partition -- the usual case for ImageNet-scale convnets
@@ -54,18 +114,37 @@ def _phase_traffic(
     out_act = layer.output_bytes(model.batch)
     w_bytes = layer.weight_bytes()
     if phase == "AxW":
-        input_bytes = w_bytes + (in_act if spill_acts else 0.0)
-        output_bytes = out_act if spill_acts else 0.0
-    elif phase == "GxW":
-        input_bytes = w_bytes + (out_act if spill_grad_out else 0.0)
-        output_bytes = in_act if spill_grad_in else 0.0
-    elif phase == "AxG":
-        input_bytes = (in_act if spill_acts else 0.0) + (
-            out_act if spill_grad_out else 0.0
+        return (
+            _stream(model, layer, "A", "read", in_act, spill_acts),
+            _stream(model, layer, "W", "read", w_bytes, True),
+            _stream(model, layer, "G", "write", out_act, spill_acts),
         )
-        output_bytes = w_bytes
-    else:
-        raise ValueError(f"unknown phase {phase!r}")
+    if phase == "GxW":
+        return (
+            _stream(model, layer, "G", "read", out_act, spill_grad_out),
+            _stream(model, layer, "W", "read", w_bytes, True, transposed=True),
+            _stream(model, layer, "A", "write", in_act, spill_grad_in),
+        )
+    if phase == "AxG":
+        return (
+            _stream(model, layer, "A", "read", in_act, spill_acts),
+            _stream(
+                model, layer, "G", "read", out_act, spill_grad_out,
+                transposed=True,
+            ),
+            _stream(model, layer, "W", "write", w_bytes, True),
+        )
+    raise ValueError(f"unknown phase {phase!r}")
+
+
+def _stream_traffic(streams: tuple[StreamSpec, ...]) -> tuple[float, float]:
+    """Off-chip (input_bytes, output_bytes) summed from a stream set."""
+    input_bytes = sum(
+        s.dram_bytes for s in streams if s.direction == "read"
+    )
+    output_bytes = sum(
+        s.dram_bytes for s in streams if s.direction == "write"
+    )
     return input_bytes, output_bytes
 
 
@@ -97,7 +176,8 @@ def build_phase_workload(
     tensor_a, tensor_b = PHASE_TENSORS[phase]
     macs = layer.phase_macs(phase, model.batch)
     reduction = layer.phase_reduction(phase, model.batch)
-    input_bytes, output_bytes = _phase_traffic(model, layer, phase)
+    streams = _phase_streams(model, layer, phase)
+    input_bytes, output_bytes = _stream_traffic(streams)
     tag = f"{model.name}/{layer.name}/{phase}".encode()
     rng = np.random.default_rng((seed, zlib.crc32(tag)))
     values_a = generate_tensor(calibration.for_tensor(tensor_a), sample_size, rng)
@@ -115,6 +195,7 @@ def build_phase_workload(
         input_bytes=input_bytes,
         output_bytes=output_bytes,
         acc_frac_bits=acc_frac_bits,
+        streams=streams,
     )
 
 

@@ -8,13 +8,21 @@ from hypothesis import strategies as st
 from repro.fp.bfloat16 import bf16_quantize
 from repro.memory.buffers import GlobalBuffer, Scratchpad
 from repro.memory.container import (
+    CONTAINER_BYTES,
     CONTAINER_SIDE,
     container_count,
+    containers_for_bytes,
     pack_containers,
     unpack_containers,
 )
 from repro.memory.dram import DRAMModel
-from repro.memory.transposer import BLOCK, Transposer, transpose_blocks
+from repro.memory.transposer import (
+    BLOCK,
+    CYCLES_PER_BLOCK,
+    Transposer,
+    transpose_blocks,
+    transpose_throughput_cycles,
+)
 
 
 class TestContainers:
@@ -50,6 +58,22 @@ class TestContainers:
     def test_rejects_non_3d(self):
         with pytest.raises(ValueError):
             pack_containers(np.zeros((4, 4)))
+
+    def test_container_count_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            container_count((0, 1, 1))
+        with pytest.raises(ValueError):
+            container_count((1, -2, 1))
+
+    def test_containers_for_bytes(self):
+        assert containers_for_bytes(0) == 0
+        assert containers_for_bytes(-10) == 0
+        assert containers_for_bytes(float("nan")) == 0
+        assert containers_for_bytes(1) == 1
+        assert containers_for_bytes(CONTAINER_BYTES) == 1
+        assert containers_for_bytes(CONTAINER_BYTES + 1) == 2
+        # Fractional bytes (extrapolated traffic) still round up.
+        assert containers_for_bytes(CONTAINER_BYTES + 0.5) == 2
 
     @given(
         st.integers(1, 40), st.integers(1, 3), st.integers(1, 40),
@@ -133,6 +157,69 @@ class TestGlobalBuffer:
         assert pad.capacity_bytes == 2048
 
 
+class TestBufferEdgeCases:
+    """Edge cases the event-level traffic engine exposed."""
+
+    def test_read_burst_empty_address_list(self):
+        gb = GlobalBuffer()
+        assert gb.read_burst([]) == 0
+        assert (gb.reads, gb.conflicts) == (0, 0)
+
+    def test_conflict_cycles_zero_and_negative_accesses(self):
+        gb = GlobalBuffer()
+        assert gb.conflict_cycles(stride_values=8, accesses=0) == 0
+        assert gb.conflict_cycles(stride_values=8, accesses=-3) == 0
+        assert (gb.reads, gb.conflicts) == (0, 0)
+
+    @pytest.mark.parametrize("stride", [0, 1, 7, 8, 64, 72])
+    def test_single_access_costs_one_cycle(self, stride):
+        gb = GlobalBuffer()
+        assert gb.conflict_cycles(stride_values=stride, accesses=1) == 1
+        assert gb.conflicts == 0
+
+    def test_zero_stride_fully_serializes(self):
+        gb = GlobalBuffer(banks=9)
+        assert gb.conflict_cycles(stride_values=0, accesses=18) == 18
+        assert gb.conflicts == 16  # every burst: 9 hits on one bank
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer(banks=0)
+        with pytest.raises(ValueError):
+            GlobalBuffer(access_bytes=0)
+
+    def test_scratchpad_tracks_bytes(self):
+        pad = Scratchpad()
+        pad.read(32)
+        pad.write()  # default 16 B
+        assert (pad.bytes_read, pad.bytes_written) == (32.0, 16.0)
+
+    def test_single_access_counters(self):
+        gb = GlobalBuffer()
+        gb.read(0)
+        gb.write(16)
+        assert (gb.reads, gb.writes) == (1, 1)
+
+
+class TestTransposerThroughput:
+    def test_zero_blocks_is_free(self):
+        assert transpose_throughput_cycles(0) == 0.0
+        assert transpose_throughput_cycles(-1.0) == 0.0
+        assert transpose_throughput_cycles(float("nan")) == 0.0
+
+    def test_single_unit_cost(self):
+        assert transpose_throughput_cycles(3) == 3 * CYCLES_PER_BLOCK
+
+    def test_units_divide_occupancy(self):
+        one = transpose_throughput_cycles(144, units=1)
+        many = transpose_throughput_cycles(144, units=144)
+        assert one == 144 * many
+
+    def test_invalid_units_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_throughput_cycles(1, units=0)
+
+
 class TestDRAM:
     def test_peak_bandwidth(self):
         dram = DRAMModel()
@@ -147,6 +234,11 @@ class TestDRAM:
 
     def test_zero_bytes(self):
         assert DRAMModel().transfer_cycles(0.0, 600.0) == 0.0
+
+    def test_degenerate_transfers_cost_zero_not_nan(self):
+        dram = DRAMModel()
+        assert dram.transfer_cycles(-128.0, 600.0) == 0.0
+        assert dram.transfer_cycles(float("nan"), 600.0) == 0.0
 
     def test_energy(self):
         dram = DRAMModel(energy_pj_per_bit=4.0)

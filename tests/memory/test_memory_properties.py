@@ -1,0 +1,139 @@
+"""Hypothesis property suite for the memory substrate.
+
+Pins the algebraic contracts the traffic engine builds on: container
+pack/unpack is a lossless bijection on arbitrary ragged shapes, the
+transposer protocol is an involution equal to numpy's transpose, bank
+mapping behaves as the paper's odd-bank-count argument claims, and the
+closed-form burst pricing is exactly the reference loop.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bfloat16 import bf16_quantize
+from repro.memory.buffers import GlobalBuffer
+from repro.memory.container import (
+    container_count,
+    pack_containers,
+    unpack_containers,
+)
+from repro.memory.traffic import strided_burst_cycles
+from repro.memory.transposer import BLOCK, Transposer, transpose_blocks
+
+# One access line is 8 bfloat16 values (16 B).
+LINE_VALUES = 8
+
+
+def _tensor(c, r, k, seed):
+    rng = np.random.default_rng(seed)
+    return bf16_quantize(rng.normal(0, 2, (c, r, k)))
+
+
+class TestContainerRoundTrip:
+    @given(
+        c=st.integers(1, 70),
+        r=st.integers(1, 4),
+        k=st.integers(1, 70),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trip(self, c, r, k, seed):
+        """Any (C, H, W) shape -- ragged edges included -- survives."""
+        tensor = _tensor(c, r, k, seed)
+        back = unpack_containers(pack_containers(tensor), tensor.shape)
+        assert np.array_equal(back, tensor)
+
+    @given(c=st.integers(1, 70), r=st.integers(1, 4), k=st.integers(1, 70))
+    @settings(max_examples=60, deadline=None)
+    def test_pack_count_matches_container_count(self, c, r, k):
+        assert len(pack_containers(np.zeros((c, r, k)))) == container_count(
+            (c, r, k)
+        )
+
+
+class TestTransposerProperties:
+    @given(
+        rb=st.integers(1, 4),
+        cb=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_blocks_is_an_involution(self, rb, cb, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(0, 1, (rb * BLOCK, cb * BLOCK))
+        assert np.array_equal(transpose_blocks(transpose_blocks(matrix)), matrix)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_write_row_read_column_equals_numpy_transpose(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(0, 1, (BLOCK, BLOCK))
+        unit = Transposer()
+        for row in matrix:
+            unit.write_row(row)
+        out = np.stack([unit.read_column(c) for c in range(BLOCK)])
+        assert np.array_equal(out, matrix.T)
+
+
+class TestBankMapping:
+    @given(accesses=st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_stride_8_lines_on_even_banks_fully_serialize(self, accesses):
+        """A stride of 8 lines pins every access to one of 8 banks."""
+        gb = GlobalBuffer(banks=8)
+        assert all(
+            gb.bank_of(i * 8 * LINE_VALUES * 2) == 0 for i in range(accesses)
+        )
+        assert gb.conflict_cycles(8 * LINE_VALUES, accesses) == accesses
+
+    @given(accesses=st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_stride_9_lines_never_conflict(self, accesses):
+        """Stride-9 spreads over 8 banks (gcd(9, 8) = 1): zero conflicts."""
+        gb = GlobalBuffer(banks=8)
+        cycles = gb.conflict_cycles(9 * LINE_VALUES, accesses)
+        assert cycles == math.ceil(accesses / 8)
+        assert gb.conflicts == 0
+
+    @given(power=st.integers(0, 6), accesses=st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_odd_bank_count_dodges_power_of_two_strides(self, power, accesses):
+        """The paper's argument for 9 banks: 2^k line strides spread."""
+        gb = GlobalBuffer(banks=9)
+        stride = (2**power) * LINE_VALUES
+        cycles = gb.conflict_cycles(stride, accesses)
+        assert cycles == math.ceil(accesses / 9)
+        assert gb.conflicts == 0
+
+
+class TestStridedBurstConformance:
+    @given(
+        stride=st.integers(0, 128),
+        accesses=st.integers(0, 800),
+        banks=st.integers(1, 16),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_closed_form_matches_reference_loop(self, stride, accesses, banks):
+        """The engine's periodic pricing is exactly `conflict_cycles`."""
+        gb = GlobalBuffer(banks=banks)
+        reference = gb.conflict_cycles(stride, accesses)
+        cycles, conflicts = strided_burst_cycles(stride, accesses, banks)
+        assert cycles == reference
+        assert conflicts == gb.conflicts
+
+    @given(stride=st.integers(0, 64), banks=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_extrapolated_region_is_consistent(self, stride, banks):
+        """Doubling a whole number of periods exactly doubles the cost.
+
+        The bank pattern's period always divides ``access_bytes * banks``
+        (16 accesses restore line alignment, ``banks`` restore the bank
+        offset and burst alignment), so this base is safe for any stride.
+        """
+        base = 16 * banks * 5
+        once = strided_burst_cycles(stride, base, banks)
+        twice = strided_burst_cycles(stride, 2 * base, banks)
+        assert twice == (2 * once[0], 2 * once[1])
