@@ -119,6 +119,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    profiler = sub.add_parser(
+        "profile",
+        help="emit a per-stage pipeline timing breakdown as JSON",
+    )
+    profiler.add_argument(
+        "--model",
+        default="NCF",
+        help="Table-I model to profile (default: NCF)",
+    )
+    profiler.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="wall-clock measurements per stage, best kept (default: 2)",
+    )
+    profiler.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write the JSON document to DIR/profile.json",
+    )
     runner = sub.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", help="experiment id, or 'all'")
     runner.add_argument(
@@ -152,6 +173,14 @@ def main(argv: list[str] | None = None) -> int:
         help="persist simulation results under DIR (warm reruns)",
     )
     runner.add_argument(
+        "--workload-cache",
+        metavar="DIR",
+        default=None,
+        help="persist generated workload tensors under DIR (defaults "
+        "to CACHE/workloads when --cache is set; in-memory reuse is "
+        "always on)",
+    )
+    runner.add_argument(
         "--memory-engine",
         choices=("roofline", "hierarchy"),
         default="roofline",
@@ -161,6 +190,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
+        return 0
+    if args.command == "profile":
+        from repro.harness.profiling import profile_pipeline, render_profile
+
+        unknown = _validate_models([args.model])
+        if unknown:
+            print(
+                "unknown model(s): " + ", ".join(repr(m) for m in unknown)
+                + "\nknown models: " + ", ".join(sorted(MODEL_ZOO)),
+                file=sys.stderr,
+            )
+            return 2
+        document = render_profile(
+            profile_pipeline(model=args.model, repeats=args.repeats)
+        )
+        if args.out is not None:
+            out_dir = Path(args.out)
+            if out_dir.exists() and not out_dir.is_dir():
+                print(f"--out {args.out!r} is not a directory", file=sys.stderr)
+                return 2
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / "profile.json").write_text(document + "\n")
+        print(document)
         return 0
     unknown = _validate_models(args.models)
     if unknown:
@@ -178,12 +230,21 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-    for flag, value in (("--cache", args.cache), ("--out", args.out)):
+    for flag, value in (
+        ("--cache", args.cache),
+        ("--out", args.out),
+        ("--workload-cache", args.workload_cache),
+    ):
         if value is not None and Path(value).exists() and not Path(value).is_dir():
             print(f"{flag} {value!r} is not a directory", file=sys.stderr)
             return 2
     session = SimulationSession(
-        jobs=args.jobs, cache_dir=args.cache, memory_engine=args.memory_engine
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        memory_engine=args.memory_engine,
+        workload_cache=(
+            args.workload_cache if args.workload_cache is not None else True
+        ),
     )
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:

@@ -59,20 +59,48 @@ class CompressedGroup:
         return self.base + self.deltas
 
 
+# Two's-complement widths for the delta range base-delta can produce
+# from 8-bit exponent fields (|delta| <= 255): index ``delta + 256``.
+def _build_width_lut() -> np.ndarray:
+    span = np.arange(-256, 257, dtype=np.int64)
+    magnitude = np.abs(span).astype(np.float64)
+    half, exp = np.frexp(magnitude)
+    power_of_two = half == 0.5
+    width = np.where(
+        span > 0,
+        exp + 1,
+        np.where(power_of_two, exp, exp + 1),
+    )
+    return np.where(span == 0, 0, width).astype(np.int64)
+
+
+_WIDTH_LUT = _build_width_lut()
+
+
 def _signed_width(deltas: np.ndarray) -> np.ndarray:
-    """Two's-complement width needed for each delta (0 for zero)."""
+    """Two's-complement width needed for each delta (0 for zero).
+
+    Positives need ``bit_length + 1`` (sign bit), negative powers of
+    two save one bit (-2^(w-1) is the most negative w-bit value) --
+    matching the former log2-based masked formula value for value.
+    Exponent-field deltas fit one LUT gather; anything wider (the
+    function is public-API-reachable with arbitrary ints) falls back to
+    the frexp formula.
+    """
     d = deltas.astype(np.int64)
-    width = np.zeros_like(d)
-    positive = d > 0
-    negative = d < 0
-    if positive.any():
-        width[positive] = (
-            np.floor(np.log2(d[positive].astype(np.float64))).astype(np.int64) + 2
-        )
-    if negative.any():
-        magnitude = (-d[negative]).astype(np.float64)
-        width[negative] = np.ceil(np.log2(magnitude)).astype(np.int64) + 1
-    return width
+    if d.size == 0 or (-256 <= d.min() and d.max() <= 256):
+        return _WIDTH_LUT[d + 256]
+    magnitude = np.abs(d).astype(np.float64)
+    half, exp = np.frexp(magnitude)
+    # |d| in [2^(exp-1), 2^exp): bit_length = exp; power of two when
+    # the frexp significand is exactly 0.5.
+    power_of_two = half == 0.5
+    width = np.where(
+        d > 0,
+        exp + 1,
+        np.where(power_of_two, exp, exp + 1),
+    )
+    return np.where(d == 0, 0, width).astype(np.int64)
 
 
 def exponent_fields(values: np.ndarray) -> np.ndarray:
@@ -86,6 +114,50 @@ def exponent_fields(values: np.ndarray) -> np.ndarray:
     """
     bits = bf16_to_bits(np.asarray(values, dtype=np.float64).ravel())
     return ((bits.astype(np.int64) >> 7) & 0xFF)
+
+
+def _grouped_widths(
+    exponents: np.ndarray, zero_mask: np.ndarray | None
+) -> tuple:
+    """Group an exponent stream and price every group's delta width.
+
+    The shared front half of :func:`compress_exponents` and
+    :func:`exponent_footprint_bits`: zero-padding to whole groups,
+    base selection (first live exponent), per-value deltas, and the
+    per-group two's-complement width -- all in whole-stream passes.
+
+    Args:
+        exponents: int array of exponent fields in group order.
+        zero_mask: optional bool array marking zero values.
+
+    Returns:
+        ``(grouped, live, bases, deltas, widths)`` arrays (grouped rows
+        of :data:`GROUP_SIZE`), or ``(None,) * 5`` for an empty stream.
+    """
+    exp = np.asarray(exponents, dtype=np.int64).ravel()
+    if exp.size == 0:
+        return (None,) * 5
+    if zero_mask is None:
+        zero_mask = np.zeros(exp.size, dtype=bool)
+    else:
+        zero_mask = np.asarray(zero_mask, dtype=bool).ravel()
+        if zero_mask.size != exp.size:
+            raise ValueError("zero_mask must match the exponent stream")
+    pad = (-exp.size) % GROUP_SIZE
+    if pad:
+        # Pad with don't-care positions: they never widen a group.
+        exp = np.concatenate([exp, np.full(pad, exp[-1], dtype=np.int64)])
+        zero_mask = np.concatenate([zero_mask, np.ones(pad, dtype=bool)])
+    grouped = exp.reshape(-1, GROUP_SIZE)
+    live = ~zero_mask.reshape(-1, GROUP_SIZE)
+    # Base = first live exponent of the group (0 for an all-zero group).
+    any_live = live.any(axis=1)
+    first_live = np.where(any_live, live.argmax(axis=1), 0)
+    bases = grouped[np.arange(grouped.shape[0]), first_live]
+    bases = np.where(any_live, bases, 0)
+    deltas = np.where(live, grouped - bases[:, None], 0)
+    widths = _signed_width(deltas).max(axis=1)
+    return grouped, live, bases, deltas, widths
 
 
 def compress_exponents(
@@ -110,29 +182,11 @@ def compress_exponents(
     Returns:
         The encoded groups.
     """
-    exp = np.asarray(exponents, dtype=np.int64).ravel()
-    if exp.size == 0:
+    grouped, live, bases, deltas, widths = _grouped_widths(
+        exponents, zero_mask
+    )
+    if grouped is None:
         return []
-    if zero_mask is None:
-        zero_mask = np.zeros(exp.size, dtype=bool)
-    else:
-        zero_mask = np.asarray(zero_mask, dtype=bool).ravel()
-        if zero_mask.size != exp.size:
-            raise ValueError("zero_mask must match the exponent stream")
-    pad = (-exp.size) % GROUP_SIZE
-    if pad:
-        # Pad with don't-care positions: they never widen a group.
-        exp = np.concatenate([exp, np.full(pad, exp[-1], dtype=np.int64)])
-        zero_mask = np.concatenate([zero_mask, np.ones(pad, dtype=bool)])
-    grouped = exp.reshape(-1, GROUP_SIZE)
-    mask = zero_mask.reshape(-1, GROUP_SIZE)
-    live = ~mask
-    # Base = first live exponent of the group (0 for an all-zero group).
-    first_live = np.where(live.any(axis=1), live.argmax(axis=1), 0)
-    bases = grouped[np.arange(grouped.shape[0]), first_live]
-    bases = np.where(live.any(axis=1), bases, 0)
-    deltas = np.where(live, grouped - bases[:, None], 0)
-    widths = _signed_width(deltas).max(axis=1)
     groups = []
     for i in range(grouped.shape[0]):
         width = int(widths[i])
@@ -176,6 +230,13 @@ def exponent_footprint_bits(
 ) -> int:
     """Total compressed bits of an exponent stream.
 
+    Closed form over all groups at once -- headers and bases per group
+    plus :data:`GROUP_SIZE` deltas at each group's width (raw escape
+    width for overflowing groups) -- with no per-group objects, no
+    Python loop.  Equal by definition to summing
+    :attr:`CompressedGroup.bits` over :func:`compress_exponents` (the
+    test suite pins the equality).
+
     Args:
         exponents: int array of exponent fields in group order.
         zero_mask: optional bool array marking zero values (their
@@ -184,7 +245,13 @@ def exponent_footprint_bits(
     Returns:
         Bits after base-delta compression (headers included).
     """
-    return sum(g.bits for g in compress_exponents(exponents, zero_mask))
+    _, _, _, _, widths = _grouped_widths(exponents, zero_mask)
+    if widths is None:
+        return 0
+    stored = np.where(widths > MAX_DELTA_BITS, RAW_EXP_BITS, widths)
+    return int(
+        widths.size * (HEADER_BITS + BASE_BITS) + GROUP_SIZE * stored.sum()
+    )
 
 
 @dataclass

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.compression.base_delta import mean_compression_ratio
-from repro.core.config import AcceleratorConfig, fpraker_paper_config
+from repro.core.config import AcceleratorConfig, TileConfig, fpraker_paper_config
 from repro.core.stats import SimCounters
 from repro.core.tile import TileSimulator
 from repro.core.workload import PhaseWorkload
@@ -276,20 +276,65 @@ def choose_serial_side(
         return workload.values_b, workload.values_a, workload.tensor_b
     if mode != "auto":
         raise ValueError(f"unknown serial-side mode {mode!r}")
-    # An empty stream carries no terms at all: serializing it is free.
-    terms_a = (
-        float(term_count(workload.values_a).mean())
-        if workload.values_a.size
-        else 0.0
-    )
-    terms_b = (
-        float(term_count(workload.values_b).mean())
-        if workload.values_b.size
-        else 0.0
-    )
-    if terms_a <= terms_b:
+    # The auto choice depends only on the value streams, so it is
+    # memoized on the workload object (array-identity guarded), letting
+    # every configuration of a sweep share one term-count measurement.
+    memo = getattr(workload, "_serial_side_memo", None)
+    if (
+        memo is not None
+        and memo[0] is workload.values_a
+        and memo[1] is workload.values_b
+    ):
+        serialize_a = memo[2]
+    else:
+        # An empty stream carries no terms at all: serializing it is
+        # free.
+        terms_a = (
+            float(term_count(workload.values_a).mean())
+            if workload.values_a.size
+            else 0.0
+        )
+        terms_b = (
+            float(term_count(workload.values_b).mean())
+            if workload.values_b.size
+            else 0.0
+        )
+        serialize_a = terms_a <= terms_b
+        workload._serial_side_memo = (
+            workload.values_a,
+            workload.values_b,
+            serialize_a,
+        )
+    if serialize_a:
         return workload.values_a, workload.values_b, workload.tensor_a
     return workload.values_b, workload.values_a, workload.tensor_b
+
+
+@dataclass
+class _PhasePrep:
+    """Per-phase state between the operand draw and the tile engine.
+
+    Splitting the phase simulation into prepare -> engine -> finish is
+    what lets :meth:`AcceleratorSimulator.simulate_workload` stack many
+    phases into one batched tile pass: every phase's operand draw stays
+    exactly the per-phase RNG sequence of the unstacked path, only the
+    engine invocation is shared.
+    """
+
+    workload: PhaseWorkload
+    tile_cfg: TileConfig
+    serial: np.ndarray
+    parallel: np.ndarray
+    serial_name: str
+    steps: int
+    a_stack: np.ndarray
+    b_stack: np.ndarray
+    initial_sums: np.ndarray | None
+
+    @property
+    def strips(self) -> int:
+        """Sampled strips of this phase."""
+        return int(self.a_stack.shape[0])
 
 
 class AcceleratorSimulator:
@@ -312,6 +357,16 @@ class AcceleratorSimulator:
             runs the per-strip reference loop.  Both consume the same
             operand draw and produce bit-identical results (cross-checked
             in the test suite).
+        phase_stacking: when the batched engine is active,
+            :meth:`simulate_workload` concatenates the strip stacks of
+            every phase sharing a tile geometry and step count into one
+            multi-phase :meth:`TileSimulator.simulate_strips` call
+            (memory-bounded via :data:`_MAX_STACK_ROWS`), paying the
+            numpy dispatch and schedule-loop overhead once per stack
+            instead of once per phase.  Strips are independent, so the
+            per-phase results are bit-identical to the unstacked path
+            (cross-checked in the test suite); ``False`` keeps the
+            one-call-per-phase behaviour.
         memory_engine: ``"roofline"`` (the reference) prices off-chip
             traffic as flat bytes-over-bandwidth; ``"hierarchy"`` runs
             the event-level traffic engine
@@ -323,6 +378,12 @@ class AcceleratorSimulator:
             on-chip energy can differ.
     """
 
+    # Stacked simulate_strips calls are capped at this many
+    # (strip x row) units so the schedule's masked row-reduction
+    # intermediates stay around ten megabytes; oversized phase groups
+    # split into several calls.
+    _MAX_STACK_ROWS = 256
+
     def __init__(
         self,
         config: AcceleratorConfig | None = None,
@@ -332,6 +393,7 @@ class AcceleratorSimulator:
         sample_steps: int = 32,
         seed: int = 1234,
         strip_engine: str = "batched",
+        phase_stacking: bool = True,
         memory_engine: str = "roofline",
     ) -> None:
         if strip_engine not in ("batched", "serial"):
@@ -345,17 +407,11 @@ class AcceleratorSimulator:
         self.sample_steps = sample_steps
         self.seed = seed
         self.strip_engine = strip_engine
+        self.phase_stacking = phase_stacking
         self.memory_engine = memory_engine
 
-    def simulate_phase(self, workload: PhaseWorkload) -> LayerPhaseResult:
-        """Simulate one layer-phase and scale to its full MAC count.
-
-        Args:
-            workload: the layer-phase description.
-
-        Returns:
-            The scaled :class:`LayerPhaseResult`.
-        """
+    def _prepare_phase(self, workload: PhaseWorkload) -> _PhasePrep:
+        """Draw one phase's operand strips (the per-phase RNG sequence)."""
         cfg = self.config
         tile_cfg = self._tile_config_for(workload)
         serial, parallel, serial_name = choose_serial_side(
@@ -364,12 +420,12 @@ class AcceleratorSimulator:
         tag = f"{workload.model}/{workload.layer}/{workload.phase}".encode()
         rng = np.random.default_rng((self.seed, zlib.crc32(tag)))
         steps = max(1, min(self.sample_steps, workload.reduction // tile_cfg.pe.lanes))
-        simulator = TileSimulator(tile_cfg)
-        sampled = SimCounters()
-        total_steps = 0
-        total_makespan = 0
-        serial_flat = bf16_quantize(np.asarray(serial, dtype=np.float64).ravel())
-        parallel_flat = bf16_quantize(np.asarray(parallel, dtype=np.float64).ravel())
+        # PhaseWorkload's contract makes both value streams
+        # bfloat16-exact already, and bf16 quantization is idempotent,
+        # so the former re-quantization pass here was a no-op by
+        # construction.
+        serial_flat = np.asarray(serial, dtype=np.float64).ravel()
+        parallel_flat = np.asarray(parallel, dtype=np.float64).ravel()
         # A strip usually sits in the middle of a long reduction: the
         # accumulator already holds the earlier products' sum, whose
         # random-walk growth (~ sqrt(n) times the product deviation)
@@ -416,22 +472,63 @@ class AcceleratorSimulator:
             ).copy()
         else:
             initial_sums = None
+        return _PhasePrep(
+            workload=workload,
+            tile_cfg=tile_cfg,
+            serial=serial,
+            parallel=parallel,
+            serial_name=serial_name,
+            steps=steps,
+            a_stack=a_stack,
+            b_stack=b_stack,
+            initial_sums=initial_sums,
+        )
+
+    def simulate_phase(self, workload: PhaseWorkload) -> LayerPhaseResult:
+        """Simulate one layer-phase and scale to its full MAC count.
+
+        Args:
+            workload: the layer-phase description.
+
+        Returns:
+            The scaled :class:`LayerPhaseResult`.
+        """
+        prep = self._prepare_phase(workload)
+        simulator = TileSimulator(prep.tile_cfg)
         if self.strip_engine == "serial":
             # Reference path: one strip at a time, identical operands.
-            for i in range(strips):
+            sampled = SimCounters()
+            total_steps = 0
+            total_makespan = 0
+            for i in range(prep.strips):
                 result = simulator.simulate_strip(
-                    a_stack[i],
-                    b_stack[i],
-                    None if initial_sums is None else initial_sums[i],
+                    prep.a_stack[i],
+                    prep.b_stack[i],
+                    None if prep.initial_sums is None else prep.initial_sums[i],
                 )
                 sampled.add(result.counters)
                 total_steps += result.steps
                 total_makespan += result.makespan
         else:
-            batch = simulator.simulate_strips(a_stack, b_stack, initial_sums)
+            batch = simulator.simulate_strips(
+                prep.a_stack, prep.b_stack, prep.initial_sums
+            )
             sampled = batch.counters_total()
             total_steps = batch.steps * batch.strips
             total_makespan = batch.makespan
+        return self._finish_phase(prep, sampled, total_steps, total_makespan)
+
+    def _finish_phase(
+        self,
+        prep: _PhasePrep,
+        sampled: SimCounters,
+        total_steps: int,
+        total_makespan: int,
+    ) -> LayerPhaseResult:
+        """Scale sampled tile counters to the phase and price memory."""
+        cfg = self.config
+        workload = prep.workload
+        tile_cfg = prep.tile_cfg
         cycles_per_step = total_makespan / total_steps
         total_groups = workload.macs / tile_cfg.pe.lanes
         scale = total_groups / sampled.groups
@@ -444,7 +541,7 @@ class AcceleratorSimulator:
         )
         counters.cycles = compute_cycles
         dram_bytes_raw = workload.total_bytes
-        dram_bytes = self._effective_dram_bytes(workload, serial, parallel)
+        dram_bytes = self._effective_dram_bytes(workload, prep.serial, prep.parallel)
         dram_cycles = self.dram.transfer_cycles(dram_bytes, cfg.clock_mhz)
         if self.memory_engine == "hierarchy":
             # Event-level path: same compute counters, but the
@@ -469,7 +566,7 @@ class AcceleratorSimulator:
             layer=workload.layer,
             phase=workload.phase,
             macs=workload.macs,
-            serial_tensor=serial_name,
+            serial_tensor=prep.serial_name,
             compute_cycles=compute_cycles,
             dram_cycles=dram_cycles,
             cycles=cycles,
@@ -483,6 +580,11 @@ class AcceleratorSimulator:
         self, workloads: list[PhaseWorkload], model: str = ""
     ) -> WorkloadResult:
         """Simulate a full list of layer-phases.
+
+        Under the batched engine with ``phase_stacking`` (the default),
+        phases sharing a tile geometry and step count run as one
+        multi-phase strip stack -- bit-identical to simulating each
+        phase alone, since strips are independent.
 
         Args:
             workloads: layer-phases of one model's training step.
@@ -498,9 +600,75 @@ class AcceleratorSimulator:
             name=self.config.name,
             model=model or workloads[0].model,
         )
-        for workload in workloads:
-            result.phases.append(self.simulate_phase(workload))
+        if self.strip_engine != "batched" or not self.phase_stacking:
+            for workload in workloads:
+                result.phases.append(self.simulate_phase(workload))
+            return result
+        preps = [self._prepare_phase(workload) for workload in workloads]
+        # Group phase indices by (tile geometry, steps): stacks must
+        # agree on every strip dimension.  TileConfig is frozen, hence
+        # hashable.
+        groups: dict[tuple, list[int]] = {}
+        for index, prep in enumerate(preps):
+            groups.setdefault((prep.tile_cfg, prep.steps), []).append(index)
+        phases: list[LayerPhaseResult | None] = [None] * len(preps)
+        for (tile_cfg, _), indices in groups.items():
+            simulator = TileSimulator(tile_cfg)
+            per_call = max(
+                1, self._MAX_STACK_ROWS // max(1, self.sample_strips * tile_cfg.rows)
+            )
+            for start in range(0, len(indices), per_call):
+                chunk = indices[start : start + per_call]
+                for index, prep, sampled, steps, makespan in self._run_stack(
+                    simulator, [(i, preps[i]) for i in chunk]
+                ):
+                    phases[index] = self._finish_phase(
+                        prep, sampled, steps, makespan
+                    )
+        result.phases = phases
         return result
+
+    def _run_stack(
+        self,
+        simulator: TileSimulator,
+        chunk: list[tuple[int, _PhasePrep]],
+    ):
+        """Run one stacked simulate_strips call and split it per phase.
+
+        Yields ``(index, prep, sampled, total_steps, total_makespan)``
+        per phase, with ``sampled`` accumulated in the phase's strip
+        order -- the exact accumulation of the unstacked batched path.
+        """
+        a = np.concatenate([prep.a_stack for _, prep in chunk])
+        b = np.concatenate([prep.b_stack for _, prep in chunk])
+        if all(prep.initial_sums is None for _, prep in chunk):
+            initial_sums = None
+        else:
+            # A zero warm start is bit-equivalent to no warm start:
+            # adding 0.0 preserves every partial sum exactly and the
+            # zero/nonzero exponent masking is sign-insensitive.
+            initial_sums = np.concatenate(
+                [
+                    prep.initial_sums
+                    if prep.initial_sums is not None
+                    else np.zeros(
+                        (prep.strips,) + prep.b_stack.shape[1:2] + (
+                            prep.a_stack.shape[1],
+                        )
+                    )
+                    for _, prep in chunk
+                ]
+            )
+        batch = simulator.simulate_strips(a, b, initial_sums)
+        offset = 0
+        for index, prep in chunk:
+            strips = prep.strips
+            sampled = SimCounters()
+            for counters in batch.counters[offset : offset + strips]:
+                sampled.add(counters)
+            makespan = int(batch.makespans[offset : offset + strips].sum())
+            offset += strips
+            yield index, prep, sampled, batch.steps * strips, makespan
 
     def _tile_config_for(self, workload: PhaseWorkload):
         """Tile config, honoring a per-layer accumulator width override."""
@@ -520,11 +688,30 @@ class AcceleratorSimulator:
         serial: np.ndarray,
         parallel: np.ndarray,
     ) -> float:
-        """Off-chip bytes after base-delta compression (when enabled)."""
+        """Off-chip bytes after base-delta compression (when enabled).
+
+        The compression ratio is a pure function of the two value
+        streams, so it is memoized on the workload object (keyed by
+        array identity: a replaced stream invalidates the memo).  The
+        workload-reuse layer hands the same workload objects to every
+        configuration of a sweep, which turns the per-config ratio
+        measurements into one measurement per unique workload.
+        """
         raw = workload.total_bytes
         if not self.config.base_delta_compression or raw == 0:
             return raw
-        return raw * mean_compression_ratio(serial, parallel)
+        memo = getattr(workload, "_bdc_ratio_memo", None)
+        if (
+            memo is not None
+            and memo[0] is workload.values_a
+            and memo[1] is workload.values_b
+        ):
+            return raw * memo[2]
+        # The mean over both streams is order-insensitive, so serial
+        # and parallel sides of different configs share the value.
+        ratio = mean_compression_ratio(serial, parallel)
+        workload._bdc_ratio_memo = (workload.values_a, workload.values_b, ratio)
+        return raw * ratio
 
     def _phase_energy(
         self,

@@ -46,6 +46,8 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         seed: RNG seed.
         strip_engine: ``"batched"`` (default) or the ``"serial"``
             reference loop.
+        phase_stacking: stack same-geometry phases into one batched
+            tile pass (default; bit-identical to per-phase calls).
         memory_engine: ``"roofline"`` (default) or the event-level
             ``"hierarchy"`` traffic engine.
     """
@@ -59,6 +61,7 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
         sample_steps: int = 32,
         seed: int = 1234,
         strip_engine: str = "batched",
+        phase_stacking: bool = True,
         memory_engine: str = "roofline",
     ) -> None:
         super().__init__(
@@ -69,6 +72,7 @@ class PragmaticFPAccelerator(AcceleratorSimulator):
             sample_steps=sample_steps,
             seed=seed,
             strip_engine=strip_engine,
+            phase_stacking=phase_stacking,
             memory_engine=memory_engine,
         )
 

@@ -38,18 +38,16 @@ import numpy as np
 
 from repro.core.config import TileConfig
 from repro.core.schedule import (
-    _BF16_FRAC,
     _K_SENTINEL,
+    _K_SENTINEL16,
     _MAX_ALIGNMENT,
-    _ZERO_ROUND_EXP,
     ScheduleResult,
     group_term_weights,
-    operand_exponents_and_zero,
     schedule_from_weights,
     schedule_from_weights_compact,
 )
 from repro.core.stats import LaneLedger, SimCounters, TermLedger
-from repro.encoding.booth import term_count_powers
+from repro.encoding.booth import bf16_exponents16, bf16_strip_fields
 from repro.encoding.terms import MAX_TERMS, TERM_SLOTS
 
 # Accumulator-exponent sentinel for an empty accumulator; far below any
@@ -65,7 +63,7 @@ _EACC_ZERO = -(1 << 40)
 # sit beyond every *reachable* value, so each downstream clamp, compare
 # and min/max resolves identically -- the property suite cross-checks
 # this bit-for-bit against the serial reference.
-_SENT16 = np.int16(1 << 12)
+_SENT16 = _K_SENTINEL16
 # Stand-in for schedule._ZERO_ROUND_EXP: below the smallest live
 # product exponent (-252), so it loses every max() a real product wins.
 _EMAX_DEAD16 = np.int16(-300)
@@ -189,11 +187,19 @@ def accumulator_exponents(
         ).copy()
     else:
         first = np.zeros_like(running[:, :, :, :1])
-    # Exponent entering step s is that of the sum over steps < s.
-    entering = np.concatenate([first, running[:, :, :, :-1]], axis=3)
-    nonzero = entering != 0.0
-    _, exp = np.frexp(np.abs(entering))
-    eacc = np.where(nonzero, exp.astype(np.int64) - 1, _EACC_ZERO)
+    # Exponent entering step s is that of the sum over steps < s.  The
+    # unbiased exponent is the float64 bit field minus its bias, which
+    # matches frexp's (exp - 1) for every normal value; partial sums of
+    # bfloat16 products (and normal-scale warm starts) are multiples of
+    # ulps far above the denormal range, so the field is never zero for
+    # a nonzero sum.
+    entering = np.ascontiguousarray(
+        np.concatenate([first, running[:, :, :, :-1]], axis=3)
+    )
+    field = (entering.view(np.uint64) >> np.uint64(52)) & np.uint64(0x7FF)
+    eacc = np.where(
+        entering != 0.0, field.astype(np.int64) - 1023, _EACC_ZERO
+    )
     return eacc if batched else eacc[0]
 
 
@@ -382,31 +388,33 @@ class TileSimulator:
         * the firing offset (largest offset among rows that still reach
           the term) is the clamp of the largest *surviving* ``d``.
 
-        That turns the reference's ``[strip, row, col, step, lane,
-        term]`` expansion into a ``[strip, row, col, step, lane]`` base
-        array plus term-axis work on the un-broadcast ``[strip, col,
-        step, lane, term]`` shape -- ``rows`` times less memory traffic
-        through the hot arrays.  The property suite cross-checks the
-        result bit-for-bit against :meth:`_schedule_columns`.
+        That turns the reference's per-row int64 term expansion into a
+        ``[strip, row, col, step, lane]`` int16 base array plus term-axis
+        work on the un-broadcast ``[strip, col, step, lane, term]``
+        shape; the only row-by-term intermediate is the int16 masked
+        operand of the ``dstar`` max-reduction, whose size callers bound
+        by chunking oversized strip stacks
+        (:data:`AcceleratorSimulator._MAX_STACK_ROWS`).  Everything is
+        loop-free over rows.  The property suite cross-checks the result
+        bit-for-bit against :meth:`_schedule_columns`.
         """
         strips, cols, steps, lanes = a_chunks.shape
         rows = b_chunks.shape[1]
         cfg = self.config.pe
-        a_exp, a_zero = operand_exponents_and_zero(a_chunks)
-        b_exp, b_zero = operand_exponents_and_zero(b_chunks)
-        a_exp = a_exp.astype(np.int16)
-        b_exp = b_exp.astype(np.int16)
-        # [strip, row, col, step, lane]: product exponents per PE.
+        # One bit-pattern pass per operand side covers the exponent
+        # adders' view and (for the serial side) the term expansion.
+        a_exp, a_zero, count, q = bf16_strip_fields(a_chunks)
+        b_exp, b_zero = bf16_exponents16(b_chunks)
+        # [strip, row, col, step, lane]: product exponents per PE; dead
+        # (zero x anything) pairs drop out of the round MAX.
         abe = a_exp[:, None, :, :, :] + b_exp[:, :, None, :, :]
-        live = ~(a_zero[:, None, :, :, :] | b_zero[:, :, None, :, :])
-        emax = np.where(live, abe, _EMAX_DEAD16).max(axis=-1)
+        dead = a_zero[:, None, :, :, :] | b_zero[:, :, None, :, :]
+        emax = np.where(dead, _EMAX_DEAD16, abe).max(axis=-1)
         eacc16 = np.clip(eacc, _EACC_CLIP_LO, _EACC_CLIP_HI).astype(np.int16)
         emax = np.maximum(emax, eacc16)
         # Alignment base of every PE lane; per-term offsets are
         # max(d + q, 0) with q the term's significand position.
         d = emax[..., None] - abe
-        count, power = term_count_powers(a_chunks)
-        q = (_BF16_FRAC - power).astype(np.int16)
         slot = np.arange(MAX_TERMS, dtype=np.int64)
         valid = slot < count[..., None]
         zero_slots = TERM_SLOTS - count
@@ -419,12 +427,15 @@ class TileSimulator:
             dmin = d.min(axis=1)
             col_ob = (valid & (dmin[..., None] > threshold - q)).sum(axis=-1)
             col_kept = count - col_ob
-            # The firing offset is gated by the largest surviving base.
+            # The firing offset is gated by the largest surviving base:
+            # a masked max-reduction over the row axis (rows that exceed
+            # the threshold drop to the "no survivor" sentinel, which
+            # loses every max against a surviving base).
             limit = threshold - q
-            dstar = np.full(limit.shape, _DSTAR_NONE, dtype=np.int16)
-            for r in range(rows):
-                dr = d[:, r, :, :, :, None]
-                dstar = np.where((dr <= limit) & (dr > dstar), dr, dstar)
+            surviving = np.where(
+                d[:, :, :, :, :, None] <= limit[:, None], d[..., None], _DSTAR_NONE
+            )
+            dstar = surviving.max(axis=1)
             k_fire = np.where(
                 valid & (dstar > _DSTAR_NONE),
                 np.maximum(dstar + q, 0),
@@ -449,8 +460,9 @@ class TileSimulator:
                 np.minimum(np.maximum(dmax[..., None] + q, 0), cap),
                 _SENT16,
             )
-        k_fire = k_fire.astype(np.int64)
-        k_fire = np.where(k_fire >= _SENT16, _K_SENTINEL, k_fire)
+        # k_fire stays int16 end to end: the compact cycle loop treats
+        # any >= _SENT16 entry as "no term", so no int64 widening pass
+        # is needed between the schedule build and the loop.
         return schedule_from_weights_compact(
             k_fire, col_kept, zero_slots, col_ob, cfg
         )

@@ -96,6 +96,61 @@ def _build_luts() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
 _LUT_COUNT, _LUT_POWER, _LUT_SIGN = _build_luts()
 
 
+def _man_index(values: np.ndarray) -> np.ndarray:
+    """LUT index of each value's significand: ``[128, 255]``, 0 for zero.
+
+    Reads the stored 7 significand bits straight out of the float32 bit
+    pattern (bfloat16 is its upper half) and restores the hidden bit --
+    exactly the significand :func:`repro.fp.softfloat.decompose`
+    reconstructs for bfloat16-exact, denormal-free inputs, at a fraction
+    of the frexp-based cost.  Zero values (all-zero exponent field) map
+    to index 0, whose LUT rows are empty/padding.
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    man = ((bits >> np.uint32(16)) & np.uint32(0x7F)) + np.uint32(128)
+    nonzero = (bits >> np.uint32(23)) & np.uint32(0xFF) != 0
+    return np.where(nonzero, man, np.uint32(0)).astype(np.int64)
+
+
+# Alignment positions q = 7 - power per LUT slot, precomputed in int16
+# for the tile schedule's hot path (padding slots carry q = 8, one past
+# any real position, so a padded limit loses every comparison a real
+# term could win).
+_LUT_Q16 = (7 - _LUT_POWER).astype(np.int16)
+
+
+def bf16_strip_fields(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Serial-side operand fields for the tile schedule, one bit pass.
+
+    Shares a single float32 bit-pattern extraction between the exponent
+    adders' view of the operand and its CSD term expansion.
+
+    Args:
+        values: bfloat16-representable array, any shape ``S``.
+
+    Returns:
+        ``(exp16, is_zero, count, q16)``: int16 exponents as the adders
+        read them (zeros -> -127), the zero mask, int64 term counts,
+        and int16 alignment positions ``7 - power`` (8 past ``count``).
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    field = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    is_zero = field == 0
+    exp16 = field.astype(np.int16) - np.int16(127)
+    man = ((bits >> np.uint32(16)) & np.uint32(0x7F)) + np.uint32(128)
+    man_idx = np.where(is_zero, np.uint32(0), man).astype(np.int64)
+    return exp16, is_zero, _LUT_COUNT[man_idx], _LUT_Q16[man_idx]
+
+
+def bf16_exponents16(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """int16 operand exponents (zeros -> -127) plus the zero mask."""
+    bits = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    field = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    return field.astype(np.int16) - np.int16(127), field == 0
+
+
 def term_count(values: np.ndarray) -> np.ndarray:
     """Number of CSD terms per element of a bfloat16-representable array.
 
@@ -107,9 +162,7 @@ def term_count(values: np.ndarray) -> np.ndarray:
     Returns:
         int64 array of the same shape.
     """
-    _, _, man, is_zero = bf16_fields(values)
-    counts = _LUT_COUNT[np.where(is_zero, 0, man)]
-    return np.where(is_zero, 0, counts)
+    return _LUT_COUNT[_man_index(values)]
 
 
 def term_count_powers(
@@ -130,10 +183,8 @@ def term_count_powers(
         ``(count, power)``: int64 of shapes ``S`` and
         ``S + (MAX_TERMS,)``.
     """
-    _, _, man, is_zero = bf16_fields(values)
-    man_idx = np.where(is_zero, 0, man)
-    count = np.where(is_zero, 0, _LUT_COUNT[man_idx])
-    return count, _LUT_POWER[man_idx]
+    man_idx = _man_index(values)
+    return _LUT_COUNT[man_idx], _LUT_POWER[man_idx]
 
 
 def term_positions(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -179,6 +230,33 @@ def _build_partial_lut() -> np.ndarray:
 
 
 _LUT_PARTIAL = _build_partial_lut()
+
+# Signed variant: rows 256..511 hold the negated sums, so an index of
+# ``man + (sign << 8)`` yields the sign-applied partial directly --
+# one gather replaces a gather, a sign select, and a multiply in the
+# matmul emulation's hot loop.
+_LUT_PARTIAL_SIGNED = np.concatenate([_LUT_PARTIAL, -_LUT_PARTIAL])
+
+# Flat int16 view for the narrow-dtype matmul emulation: partial sums
+# fit comfortably (|sum| <= 255), and a precomputed row-stride-11 index
+# turns the 2-D gather into one flat gather.
+_LUT_PARTIAL_SIGNED16_FLAT = _LUT_PARTIAL_SIGNED.astype(np.int16).ravel()
+
+
+def partial_csd_sum_signed(
+    signed_man: np.ndarray, pmin: np.ndarray
+) -> np.ndarray:
+    """Sign-applied :func:`partial_csd_sum`.
+
+    Args:
+        signed_man: ``man + (sign << 8)`` indices (sign 0/1), any shape.
+        pmin: power cutoffs, same shape; clipped to [0, 10].
+
+    Returns:
+        int64 array of ``(-1)^sign`` times the partial sums.
+    """
+    cut = np.clip(np.asarray(pmin, dtype=np.int64), 0, 10)
+    return _LUT_PARTIAL_SIGNED[np.asarray(signed_man, dtype=np.int64), cut]
 
 
 def partial_csd_sum(man: np.ndarray, pmin: np.ndarray) -> np.ndarray:

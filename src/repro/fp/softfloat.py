@@ -96,11 +96,13 @@ def quantize(
     if overflow not in ("inf", "sat"):
         raise ValueError(f"overflow must be 'inf' or 'sat', got {overflow!r}")
     x = np.asarray(values, dtype=np.float64)
-    out = np.zeros_like(x)
-    finite = np.isfinite(x) & (x != 0.0)
-    if np.any(finite):
-        xf = x[finite]
-        man, exp = np.frexp(np.abs(xf))
+    # Whole-array passes (no boolean gather/scatter): zeros flow
+    # through as zeros -- frexp(0) is (0, 0), so every later product is
+    # (+)0 and the denormal flush pins the sign -- and non-finite lanes
+    # compute garbage under a muted errstate that the final where
+    # discards in favor of the original value.
+    with np.errstate(invalid="ignore", over="ignore"):
+        man, exp = np.frexp(np.abs(x))
         # frexp yields man in [0.5, 1); shift to the [1, 2) convention.
         exp = exp - 1
         # Round the significand to man_bits fractional bits (man in [1,2)).
@@ -112,7 +114,7 @@ def quantize(
         exp = exp + carry.astype(np.int64)
         # rounded == significand * 2^man_bits, so the value is
         # rounded * 2^(exp - man_bits).
-        result = np.ldexp(rounded, exp - fmt.man_bits) * np.sign(xf)
+        result = np.ldexp(rounded, exp - fmt.man_bits) * np.sign(x)
         # Flush denormals (magnitude below the smallest normal) to zero.
         result = np.where(np.abs(result) < fmt.min_normal, 0.0, result)
         # Handle overflow.
@@ -121,11 +123,8 @@ def quantize(
             result = np.where(over, np.sign(result) * fmt.max_value, result)
         else:
             result = np.where(over, np.copysign(np.inf, result), result)
-        out[finite] = result
     # Propagate infinities and NaN unchanged.
-    special = ~np.isfinite(x)
-    out[special] = x[special]
-    return out
+    return np.where(np.isfinite(x), result, x)
 
 
 def decompose(
@@ -198,17 +197,17 @@ def round_significand(values: np.ndarray, frac_bits: int) -> np.ndarray:
         float64 array rounded to the requested precision.
     """
     x = np.asarray(values, dtype=np.float64)
-    out = np.zeros_like(x)
-    finite = np.isfinite(x) & (x != 0.0)
-    if np.any(finite):
-        xf = x[finite]
-        man, exp = np.frexp(np.abs(xf))
+    # Whole-array passes, as in quantize: zeros survive as (+)0 exactly
+    # like the former masked scatter produced, non-finite lanes are
+    # restored by the final where.
+    with np.errstate(invalid="ignore"):
+        man, exp = np.frexp(np.abs(x))
         scaled = np.ldexp(man, frac_bits + 1)
         rounded = _round_half_even(scaled)
-        out[finite] = np.ldexp(rounded, exp - 1 - frac_bits) * np.sign(xf)
-    special = ~np.isfinite(x)
-    out[special] = x[special]
-    return out
+        result = np.ldexp(rounded, exp - 1 - frac_bits) * np.sign(x)
+        # Zeros (either sign) come out as +0, as the masked path did.
+        result = np.where(x == 0.0, 0.0, result)
+    return np.where(np.isfinite(x), result, x)
 
 
 def ulp(value: float, fmt: FloatFormat) -> float:

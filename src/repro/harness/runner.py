@@ -26,6 +26,7 @@ import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
 from repro.core.baseline import BaselineAccelerator
@@ -130,6 +131,7 @@ def execute_request(
     sample_steps: int = 32,
     sim_seed: int = 1234,
     memory_engine: str = "roofline",
+    workload_cache="default",
 ) -> WorkloadResult:
     """Run one simulation cold (module-level so worker processes can
     receive it by name).
@@ -142,6 +144,11 @@ def execute_request(
         memory_engine: ``"roofline"`` or ``"hierarchy"`` (FPRaker-style
             simulators only; the analytic baseline is roofline-priced
             either way).
+        workload_cache: workload-reuse spec forwarded to
+            :func:`repro.traces.workloads.build_workloads` --
+            ``"default"``, a cache instance, a disk directory (strings
+            survive the trip into worker processes), or None for cold
+            builds.
 
     Returns:
         The simulated :class:`WorkloadResult`.
@@ -155,6 +162,7 @@ def execute_request(
         progress=request.progress,
         seed=request.seed,
         acc_profile=dict(request.acc_profile) if request.acc_profile else None,
+        cache=workload_cache,
         **kwargs,
     )
     if config.name == "baseline":
@@ -207,6 +215,15 @@ class SimulationSession:
             the session runs under -- ``"roofline"`` (default) or the
             event-level ``"hierarchy"`` engine.  Part of the canonical
             key, so both engines' results can share one disk cache.
+        workload_cache: workload-reuse policy.  ``True`` (default)
+            shares each model's built workload across every
+            configuration of the session (and, when ``cache_dir`` is
+            set, persists the tensors under ``cache_dir/workloads`` so
+            worker processes and later invocations skip regeneration);
+            a directory uses that disk location; ``False`` rebuilds
+            workloads per simulation.  Caching never changes results --
+            hits are byte-identical to cold builds -- so it is *not*
+            part of the canonical simulation key.
     """
 
     def __init__(
@@ -217,6 +234,7 @@ class SimulationSession:
         sample_steps: int = 32,
         sim_seed: int = 1234,
         memory_engine: str = "roofline",
+        workload_cache: bool | str | os.PathLike = True,
     ) -> None:
         if memory_engine not in ("roofline", "hierarchy"):
             raise ValueError(f"unknown memory engine {memory_engine!r}")
@@ -225,6 +243,16 @@ class SimulationSession:
         self.sample_steps = sample_steps
         self.sim_seed = sim_seed
         self.memory_engine = memory_engine
+        if workload_cache is False:
+            self.workload_cache_spec = None
+        elif workload_cache is True:
+            self.workload_cache_spec = (
+                str(Path(cache_dir) / "workloads")
+                if cache_dir is not None
+                else "default"
+            )
+        else:
+            self.workload_cache_spec = str(workload_cache)
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
         self.stats = SessionStats()
         self._memo: dict[str, WorkloadResult] = {}
@@ -331,6 +359,7 @@ class SimulationSession:
                         self.sample_steps,
                         self.sim_seed,
                         self.memory_engine,
+                        self.workload_cache_spec,
                     )
                     for _, request in items
                 ]
@@ -368,4 +397,5 @@ class SimulationSession:
             self.sample_steps,
             self.sim_seed,
             self.memory_engine,
+            self.workload_cache_spec,
         )

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.encoding.booth import partial_csd_sum
+from repro.encoding.booth import _LUT_PARTIAL_SIGNED16_FLAT, partial_csd_sum
 from repro.fp.bfloat16 import bf16_fields, bf16_quantize
 from repro.fp.softfloat import round_significand
 
@@ -102,12 +102,19 @@ class MatmulEngine:
             return np.asarray(values, dtype=np.float32).astype(np.float64)
         return bf16_quantize(values)
 
-    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def matmul(
+        self, a: np.ndarray, b: np.ndarray, pre_quantized: bool = False
+    ) -> np.ndarray:
         """Matrix product ``a @ b`` under the configured arithmetic.
 
         Args:
             a: left matrix ``[M, K]``.
             b: right matrix ``[K, N]``.
+            pre_quantized: caller guarantees both operands are already
+                exactly representable in the mode's storage format
+                (e.g. they came through :meth:`quantize_tensor`), so
+                the emulation skips its re-quantization -- quantization
+                is idempotent, making this a pure fast path.
 
         Returns:
             float64 array ``[M, N]`` of mode-accurate results.
@@ -120,19 +127,192 @@ class MatmulEngine:
             return a @ b
         if self.config.mode == "fp32":
             return (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float64)
-        return self._matmul_emulated(a, b, fpraker=self.config.mode == "fpraker")
+        return self._matmul_emulated(
+            a,
+            b,
+            fpraker=self.config.mode == "fpraker",
+            pre_quantized=pre_quantized,
+        )
 
     def _matmul_emulated(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        fpraker: bool,
+        pre_quantized: bool = False,
+    ) -> np.ndarray:
+        """Chunk-vectorized emulation of the extended accumulation.
+
+        The accumulator is serial along the reduction *within* one
+        64-MAC chunk, but every chunk starts from a flushed (zero)
+        register -- chunks are independent until their fp32 outer sums
+        fold together in order.  So the group loop runs over the 8
+        groups of a chunk only, with every full chunk advancing in
+        lockstep along a chunk axis ([M, chunks, group, N] operands),
+        and the sub-chunk tail runs as a single trailing chunk.  For the
+        weight-gradient matmuls (reduction = batch x spatial, hundreds
+        of groups) this turns hundreds of tiny-array iterations into
+        eight wide ones.  Bit-identical to the serial reference
+        (:meth:`_matmul_emulated_reference`, cross-checked in the test
+        suite): every per-group operation is elementwise or a
+        same-order reduction over the group axis, and the fp32 folds
+        happen in the original chunk order.
+        """
+        cfg = self.config
+        aq = a if pre_quantized else bf16_quantize(a)
+        bq = b if pre_quantized else bf16_quantize(b)
+        m_rows, k_dim = aq.shape
+        n_cols = bq.shape[1]
+        # Bit fields, computed once: significands with hidden bit,
+        # hardware-visible exponents (-127 for zeros), sign masks.
+        a_sign, a_exp, a_man, a_zero = bf16_fields(aq)
+        b_sign, b_exp, b_man, b_zero = bf16_fields(bq)
+        a_exp = np.where(a_zero, _ZERO_OPERAND_EXP, a_exp)
+        b_exp = np.where(b_zero, _ZERO_OPERAND_EXP, b_exp)
+        a_fields = (a_sign, a_exp, a_man, aq)
+        b_fields = (b_sign, b_exp, b_man, bq)
+        full = (k_dim // cfg.chunk_size) * cfg.chunk_size
+        outer = np.zeros((m_rows, n_cols), dtype=np.float64)
+        acc_tail = np.zeros((m_rows, n_cols), dtype=np.float64)
+        if full:
+            acc = self._accumulate_chunks(
+                a_fields, b_fields, 0, full, full // cfg.chunk_size, fpraker
+            )
+            # Fold the chunk sums into the fp32 outer register in
+            # reduction order, exactly like the serial flush points.
+            for index in range(acc.shape[1]):
+                outer = (
+                    (outer + acc[:, index]).astype(np.float32).astype(np.float64)
+                )
+        if k_dim > full:
+            acc_tail = self._accumulate_chunks(
+                a_fields, b_fields, full, k_dim, 1, fpraker
+            )[:, 0]
+        return (outer + acc_tail).astype(np.float32).astype(np.float64)
+
+    def _accumulate_chunks(
+        self,
+        a_fields: tuple,
+        b_fields: tuple,
+        k0: int,
+        k1: int,
+        chunks: int,
+        fpraker: bool,
+    ) -> np.ndarray:
+        """Accumulate ``chunks`` equal reduction slices concurrently.
+
+        Args:
+            a_fields: ``(sign, exp, man, quantized)`` of the left matrix.
+            b_fields: same for the right matrix.
+            k0: first reduction index.
+            k1: one past the last reduction index.
+            chunks: equal chunks splitting ``[k0, k1)``.
+            fpraker: drop out-of-bounds CSD terms of the serial side.
+
+        Returns:
+            float64 ``[M, chunks, N]`` chunk-final accumulator values.
+        """
+        cfg = self.config
+        a_sign, a_exp, a_man, aq = a_fields
+        b_sign, b_exp, b_man, bq = b_fields
+        m_rows = aq.shape[0]
+        n_cols = bq.shape[1]
+        span = (k1 - k0) // chunks
+
+        def a_slice(field):
+            return field[:, k0:k1].reshape(m_rows, chunks, span)
+
+        def b_slice(field):
+            return field[k0:k1].reshape(chunks, span, n_cols)
+
+        # Narrow working set, exact by construction: every heavy
+        # [M, chunks, group, N] pass runs in int16 / float32 on this
+        # sign-magnitude decomposition --
+        #
+        # * product exponents |ABe| <= 256 and accumulator exponents
+        #   |e| < 1100 fit int16 (sentinel far below);
+        # * the significand product +-man_a * man_b * 2^-14 carries at
+        #   most 16 significand bits, exact in float32 and, unlike the
+        #   full product value, never over- or underflows;
+        # * a grid-snapped term is an integer with |t| < 2^(frac + 2)
+        #   (ldexp to a subnormal only happens below 0.5, where rint
+        #   yields the same 0), and sums of at most nine such integers
+        #   stay exact in float32 up to its 2^24 integer ceiling --
+        #   which holds through frac_bits 18; wider accumulators
+        #   (Pragmatic-style configs) run the identical pipeline in
+        #   float64.
+        #
+        # The serial reference keeps the float64 formulation; the
+        # property suite pins this path against it bit for bit.
+        frac = cfg.acc_frac_bits
+        man_dtype = np.float32 if frac <= 18 else np.float64
+        a_exp_r = a_slice(a_exp.astype(np.int16))
+        b_exp_r = b_slice(b_exp.astype(np.int16))
+        if fpraker:
+            # The flattened signed-partial LUT index (row stride 11)
+            # folds the serial side's sign and the gather's row offset
+            # into one int16 add per group.
+            a_idx_r = a_slice(((a_man + (a_sign << 8)) * 11).astype(np.int16))
+        else:
+            a_sgnman_r = a_slice(
+                np.where(a_sign == 1, -a_man, a_man).astype(man_dtype)
+            )
+        b_signed_r = b_slice(
+            np.ldexp(
+                np.where(b_sign == 1, -b_man, b_man).astype(man_dtype),
+                -_PRODUCT_FRAC_BITS,
+            )
+        )
+        acc = np.zeros((m_rows, chunks, n_cols), dtype=np.float64)
+        for lo in range(0, span, cfg.group):
+            hi = min(lo + cfg.group, span)
+            # [M, chunks, group, N] product exponents.
+            abe = a_exp_r[:, :, lo:hi, None] + b_exp_r[None, :, lo:hi, :]
+            acc_exp = _leading_exponent16(acc)
+            emax = np.maximum(abe.max(axis=2), acc_exp)
+            gexp = emax - np.int16(frac)
+            if fpraker:
+                # pmin = (emax - ABe) - (frac - 7), with the constant
+                # folded into the small emax-shaped term.
+                pmin = (emax - np.int16(frac - _BF16_FRAC))[
+                    :, :, None, :
+                ] - abe
+                cut = np.clip(pmin, 0, 10)
+                manprod = (
+                    _LUT_PARTIAL_SIGNED16_FLAT[a_idx_r[:, :, lo:hi, None] + cut]
+                    * b_signed_r[None, :, lo:hi, :]
+                )
+            else:
+                manprod = (
+                    a_sgnman_r[:, :, lo:hi, None]
+                    * b_signed_r[None, :, lo:hi, :]
+                )
+            # Scale the significand product straight onto the snapping
+            # grid: value = manprod * 2^(ABe + frac - emax).
+            snapped = np.rint(
+                np.ldexp(manprod, abe - gexp[:, :, None, :])
+            )
+            total = snapped.sum(axis=2, dtype=man_dtype).astype(
+                np.float64
+            ) + np.rint(np.ldexp(acc, -gexp.astype(np.int64)))
+            acc = _round_finite(
+                np.ldexp(total, gexp.astype(np.int64)), frac
+            )
+        return acc
+
+    def _matmul_emulated_reference(
         self, a: np.ndarray, b: np.ndarray, fpraker: bool
     ) -> np.ndarray:
-        """Group-wise emulation of the extended-precision accumulation."""
+        """Serial group-loop reference of :meth:`_matmul_emulated`.
+
+        Kept (like the serial tile engine) as the bit-exactness anchor
+        the chunk-vectorized path is property-tested against.
+        """
         cfg = self.config
         aq = bf16_quantize(a)
         bq = bf16_quantize(b)
         m_rows, k_dim = aq.shape
         n_cols = bq.shape[1]
-        # Bit fields, computed once: significands with hidden bit,
-        # hardware-visible exponents (-127 for zeros), sign masks.
         a_sign, a_exp, a_man, a_zero = bf16_fields(aq)
         b_sign, b_exp, b_man, b_zero = bf16_fields(bq)
         a_exp = np.where(a_zero, _ZERO_OPERAND_EXP, a_exp)
@@ -206,3 +386,35 @@ def _leading_exponent(values: np.ndarray) -> np.ndarray:
     magnitude = np.abs(values)
     _, exp = np.frexp(magnitude)
     return np.where(magnitude > 0.0, exp.astype(np.int64) - 1, _EACC_ZERO)
+
+
+# int16 accumulator-exponent sentinel for the narrow-dtype engine: the
+# reference's -2^24 only ever loses a max() against product exponents
+# >= -508, which -2^13 does just as well inside int16.
+_EACC_ZERO16 = np.int16(-(1 << 13))
+
+
+def _round_finite(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """:func:`round_significand` for guaranteed-finite accumulators.
+
+    The chunk engine's accumulator is always finite (grid-snapped
+    integers times bounded powers of two), so the general routine's
+    non-finite restore and errstate guard are dead weight here.  Zeros
+    come out as +0 exactly like the reference: frexp(0) is (0, 0) and
+    numpy's sign(+-0) is +0.
+    """
+    man, exp = np.frexp(np.abs(values))
+    rounded = np.rint(np.ldexp(man, frac_bits + 1))
+    return np.ldexp(rounded, exp - 1 - frac_bits) * np.sign(values)
+
+
+def _leading_exponent16(values: np.ndarray) -> np.ndarray:
+    """int16 :func:`_leading_exponent` via the float64 bit pattern.
+
+    Accumulator values are grid-snapped integers times 2^gexp with
+    ``gexp > -600``, so nonzero entries are always normal and the
+    exponent field is exact; int16 holds the whole reachable range.
+    """
+    bits = values.view(np.uint64)
+    field = ((bits >> np.uint64(52)) & np.uint64(0x7FF)).astype(np.int16)
+    return np.where(values != 0.0, field - np.int16(1023), _EACC_ZERO16)

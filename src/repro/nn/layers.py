@@ -91,7 +91,7 @@ class Dense(Layer):
         x = self.engine.quantize_tensor(x)
         if training:
             self._x = x
-        out = self.engine.matmul(x, w)
+        out = self.engine.matmul(x, w, pre_quantized=True)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -103,10 +103,10 @@ class Dense(Layer):
         self._grad_out = grad_out
         w = self.engine.quantize_tensor(self.weight)
         # Weight gradient (A x G) and input gradient (G x W).
-        self.weight_grad = self.engine.matmul(self._x.T, grad_out)
+        self.weight_grad = self.engine.matmul(self._x.T, grad_out, pre_quantized=True)
         if self.bias is not None:
             self.bias_grad = grad_out.sum(axis=0)
-        return self.engine.matmul(grad_out, w.T)
+        return self.engine.matmul(grad_out, w.T, pre_quantized=True)
 
     def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
         params = [(self.weight, self.weight_grad)]
@@ -169,7 +169,7 @@ class Conv2d(Layer):
         x = self.engine.quantize_tensor(x)
         cols, out_h, out_w = im2col(x, self.kernel, self.stride, self.padding)
         w = self.engine.quantize_tensor(self.weight)
-        out = self.engine.matmul(cols, w) + self.bias
+        out = self.engine.matmul(cols, w, pre_quantized=True) + self.bias
         batch = x.shape[0]
         if training:
             self._cols = cols
@@ -189,9 +189,9 @@ class Conv2d(Layer):
         )
         self._grad_out = grad_mat
         w = self.engine.quantize_tensor(self.weight)
-        self.weight_grad = self.engine.matmul(self._cols.T, grad_mat)
+        self.weight_grad = self.engine.matmul(self._cols.T, grad_mat, pre_quantized=True)
         self.bias_grad = grad_mat.sum(axis=0)
-        grad_cols = self.engine.matmul(grad_mat, w.T)
+        grad_cols = self.engine.matmul(grad_mat, w.T, pre_quantized=True)
         return col2im(
             grad_cols, self._x_shape, self.kernel, self.stride, self.padding
         )

@@ -30,9 +30,17 @@ from repro.traces.synthetic import (
 )
 from repro.traces.evolution import calibration_at
 from repro.traces.workloads import build_workloads, build_phase_workload
+from repro.traces.workload_cache import (
+    DEFAULT_WORKLOAD_CACHE,
+    WorkloadCache,
+    workload_key,
+)
 from repro.traces.capture import capture_training_traces, CapturedTraces
 
 __all__ = [
+    "DEFAULT_WORKLOAD_CACHE",
+    "WorkloadCache",
+    "workload_key",
     "TensorStats",
     "ModelCalibration",
     "CALIBRATIONS",

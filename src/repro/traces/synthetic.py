@@ -11,6 +11,7 @@ signs.  Everything is exactly representable in bfloat16 by construction.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,19 +30,15 @@ _EXP_MIN = -96
 _EXP_MAX = 16
 
 
-def _gibbs_lambda(mean_terms: float) -> float:
-    """Solve for the Gibbs weight that hits a target mean term count.
-
-    Weights ``w(man) ~ exp(-lambda * terms(man))`` over all significands;
-    bisection on the monotone mean-vs-lambda curve.
+def _gibbs_lambda_bisect(target: float) -> float:
+    """Reference solver: 60-step bisection on the monotone curve.
 
     Args:
-        mean_terms: target mean CSD terms among nonzero significands.
+        target: clipped mean CSD term target.
 
     Returns:
-        The lambda achieving the target (clipped to the feasible range).
+        The lambda achieving the target.
     """
-    target = float(np.clip(mean_terms, 1.05, 4.4))
 
     def mean_at(lam: float) -> float:
         w = np.exp(-lam * _MAN_TERMS)
@@ -58,6 +55,56 @@ def _gibbs_lambda(mean_terms: float) -> float:
     return 0.5 * (lo + hi)
 
 
+@functools.lru_cache(maxsize=4096)
+def _gibbs_inverse(target: float) -> tuple[float, tuple[float, ...]]:
+    """Cached inverse of the mean-vs-lambda curve, with its weights.
+
+    The curve is a fixed monotone function, so its inverse at a given
+    (clipped) target -- and the normalized Gibbs weight vector that goes
+    with it -- never changes: each distinct target pays the bisection
+    and the weight normalization exactly once per process, and every
+    repeated tensor of a sweep reuses the entry.  Values are the
+    reference bisection's, bit for bit.
+
+    Args:
+        target: clipped mean CSD term target.
+
+    Returns:
+        ``(lambda, weights)`` with weights as a hashable tuple.
+    """
+    lam = _gibbs_lambda_bisect(target)
+    weights = np.exp(-lam * _MAN_TERMS)
+    weights /= weights.sum()
+    return lam, tuple(weights)
+
+
+def gibbs_cache_info():
+    """Hit/miss statistics of the cached lambda inverse."""
+    return _gibbs_inverse.cache_info()
+
+
+def gibbs_cache_clear() -> None:
+    """Drop the cached lambda inverse (cold-path benchmarking)."""
+    _gibbs_inverse.cache_clear()
+
+
+def _gibbs_lambda(mean_terms: float) -> float:
+    """Solve for the Gibbs weight that hits a target mean term count.
+
+    Weights ``w(man) ~ exp(-lambda * terms(man))`` over all significands;
+    bisection on the monotone mean-vs-lambda curve, cached per clipped
+    target (:func:`_gibbs_inverse`).
+
+    Args:
+        mean_terms: target mean CSD terms among nonzero significands.
+
+    Returns:
+        The lambda achieving the target (clipped to the feasible range).
+    """
+    target = float(np.clip(mean_terms, 1.05, 4.4))
+    return _gibbs_inverse(target)[0]
+
+
 def mantissas_with_mean_terms(
     mean_terms: float, size: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -71,10 +118,9 @@ def mantissas_with_mean_terms(
     Returns:
         int64 array of significands in ``[128, 255]``.
     """
-    lam = _gibbs_lambda(mean_terms)
-    weights = np.exp(-lam * _MAN_TERMS)
-    weights /= weights.sum()
-    return rng.choice(_MAN_VALUES, size=size, p=weights)
+    target = float(np.clip(mean_terms, 1.05, 4.4))
+    _, weights = _gibbs_inverse(target)
+    return rng.choice(_MAN_VALUES, size=size, p=np.array(weights))
 
 
 def _correlated_exponents(

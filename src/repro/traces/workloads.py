@@ -12,6 +12,13 @@ from repro.models.zoo import LayerShape, ModelSpec, get_model
 from repro.traces.calibration import ModelCalibration
 from repro.traces.evolution import calibration_at
 from repro.traces.synthetic import generate_tensor
+from repro.traces.workload_cache import (
+    DEFAULT_WORKLOAD_CACHE,
+    WorkloadCache,
+    cache_for,
+    tensor_key,
+    workload_key,
+)
 
 # Tensor letters participating in each phase, (first, second).
 PHASE_TENSORS = {
@@ -156,6 +163,7 @@ def build_phase_workload(
     sample_size: int = 8192,
     seed: int = 0,
     acc_frac_bits: int | None = None,
+    values: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> PhaseWorkload:
     """Build one simulator workload for (layer, phase).
 
@@ -167,6 +175,8 @@ def build_phase_workload(
         sample_size: values sampled per tensor.
         seed: RNG seed.
         acc_frac_bits: optional per-layer accumulator width.
+        values: optional pre-generated ``(values_a, values_b)`` pair
+            (a workload-cache hit); skips the tensor generation.
 
     Returns:
         The :class:`PhaseWorkload`.
@@ -178,10 +188,17 @@ def build_phase_workload(
     reduction = layer.phase_reduction(phase, model.batch)
     streams = _phase_streams(model, layer, phase)
     input_bytes, output_bytes = _stream_traffic(streams)
-    tag = f"{model.name}/{layer.name}/{phase}".encode()
-    rng = np.random.default_rng((seed, zlib.crc32(tag)))
-    values_a = generate_tensor(calibration.for_tensor(tensor_a), sample_size, rng)
-    values_b = generate_tensor(calibration.for_tensor(tensor_b), sample_size, rng)
+    if values is None:
+        tag = f"{model.name}/{layer.name}/{phase}".encode()
+        rng = np.random.default_rng((seed, zlib.crc32(tag)))
+        values_a = generate_tensor(
+            calibration.for_tensor(tensor_a), sample_size, rng
+        )
+        values_b = generate_tensor(
+            calibration.for_tensor(tensor_b), sample_size, rng
+        )
+    else:
+        values_a, values_b = values
     return PhaseWorkload(
         model=model.name,
         layer=layer.name,
@@ -206,8 +223,15 @@ def build_workloads(
     sample_size: int = 8192,
     seed: int = 0,
     acc_profile: dict[str, int] | None = None,
+    cache: "WorkloadCache | str | None" = "default",
 ) -> list[PhaseWorkload]:
     """Build the full training-step workload of a model.
+
+    Builds are content-addressed (:mod:`repro.traces.workload_cache`):
+    the key is deliberately config-independent, so every accelerator
+    configuration of a sweep shares one build per model.  Cache hits
+    return the same workload objects byte for byte -- treat them as
+    immutable.
 
     Args:
         model_name: Table I model name.
@@ -218,13 +242,62 @@ def build_workloads(
         seed: RNG seed.
         acc_profile: optional per-layer accumulator widths
             (``layer name -> frac bits``, paper Fig 21).
+        cache: ``"default"`` uses the process-global in-memory cache; a
+            :class:`WorkloadCache` or disk directory uses that; None
+            forces a cold build.
 
     Returns:
         One :class:`PhaseWorkload` per (layer, phase).
     """
+    resolved = (
+        DEFAULT_WORKLOAD_CACHE if cache == "default" else cache_for(cache)
+    )
+    if resolved is None:
+        return _build_workloads_cold(
+            model_name, progress, phases, sample_size, seed, acc_profile
+        )
+    key = workload_key(
+        model_name, progress, phases, sample_size, seed, acc_profile
+    )
+    hit = resolved.get(key)
+    if hit is not None:
+        return list(hit)
+    disk_key = tensor_key(model_name, progress, phases, sample_size, seed)
+    tensors = resolved.load_tensors(disk_key)
+    if tensors is not None and len(tensors) == _n_phases(model_name, phases):
+        workloads = _build_workloads_cold(
+            model_name, progress, phases, sample_size, seed, acc_profile,
+            tensors=tensors,
+        )
+    else:
+        resolved.stats.builds += 1
+        workloads = _build_workloads_cold(
+            model_name, progress, phases, sample_size, seed, acc_profile
+        )
+        resolved.store_tensors(disk_key, workloads)
+    resolved.put(key, workloads)
+    return list(workloads)
+
+
+def _n_phases(model_name: str, phases: tuple[str, ...]) -> int:
+    """Number of (layer, phase) workloads a build produces."""
+    return len(get_model(model_name).layers) * len(phases)
+
+
+def _build_workloads_cold(
+    model_name: str,
+    progress: float,
+    phases: tuple[str, ...],
+    sample_size: int,
+    seed: int,
+    acc_profile: dict[str, int] | None,
+    tensors: list[tuple[np.ndarray, np.ndarray]] | None = None,
+) -> list[PhaseWorkload]:
+    """The uncached build loop (optionally with pre-loaded tensors)."""
     model = get_model(model_name)
     calibration = calibration_at(model_name, progress)
     workloads = []
+    index = 0
     for layer in model.layers:
         frac_bits = acc_profile.get(layer.name) if acc_profile else None
         for phase in phases:
@@ -237,6 +310,8 @@ def build_workloads(
                     sample_size=sample_size,
                     seed=seed,
                     acc_frac_bits=frac_bits,
+                    values=tensors[index] if tensors is not None else None,
                 )
             )
+            index += 1
     return workloads

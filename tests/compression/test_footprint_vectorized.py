@@ -1,0 +1,57 @@
+"""Closed-form exponent footprint vs per-group object pricing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base_delta import (
+    _signed_width,
+    compress_exponents,
+    exponent_footprint_bits,
+)
+
+
+class TestFootprintClosedForm:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        size=st.integers(0, 300),
+        sparsity=st.floats(0.0, 1.0),
+        spread=st.sampled_from([1, 4, 64, 255]),
+        with_mask=st.booleans(),
+    )
+    def test_equals_group_sum(self, seed, size, sparsity, spread, with_mask):
+        rng = np.random.default_rng(seed)
+        base = int(rng.integers(0, 256 - spread + 1))
+        exponents = rng.integers(base, base + spread, size)
+        zero_mask = (rng.random(size) < sparsity) if with_mask else None
+        assert exponent_footprint_bits(exponents, zero_mask) == sum(
+            g.bits for g in compress_exponents(exponents, zero_mask)
+        )
+
+    def test_empty_stream(self):
+        assert exponent_footprint_bits(np.array([], dtype=np.int64)) == 0
+
+
+class TestSignedWidth:
+    def test_lut_matches_formula_over_full_range(self):
+        deltas = np.arange(-256, 257, dtype=np.int64)
+        widths = _signed_width(deltas)
+        # Independent definition: smallest w with
+        # -2^(w-1) <= d <= 2^(w-1) - 1 (0 for zero).
+        for d, w in zip(deltas, widths):
+            if d == 0:
+                assert w == 0
+                continue
+            assert -(1 << (w - 1)) <= d <= (1 << (w - 1)) - 1
+            assert not (-(1 << (w - 2)) <= d <= (1 << (w - 2)) - 1 and w >= 2)
+
+    def test_wide_fallback(self):
+        deltas = np.array([-100000, -257, 257, 100000, 0, 5])
+        widths = _signed_width(deltas)
+        for d, w in zip(deltas, widths):
+            if d == 0:
+                assert w == 0
+                continue
+            assert -(1 << (w - 1)) <= d <= (1 << (w - 1)) - 1
+            assert not (-(1 << (w - 2)) <= d <= (1 << (w - 2)) - 1 and w >= 2)

@@ -151,6 +151,143 @@ class TestBatchedEqualsSerial:
             sim.simulate_strips(np.zeros((0, 8, 4, 8)), np.zeros((0, 8, 4, 8)))
 
 
+class TestLoopFreeStripSchedule:
+    """The loop-free column schedule vs the serial `_schedule_columns`.
+
+    `_schedule_strip_columns` derives the firing offsets through a
+    masked max-reduction over the row axis (no Python row loop) on
+    int16 bit-extracted operand fields; these tests pin it directly --
+    schedule arrays, not just aggregated counters -- against the int64
+    per-row reference across geometries, depths, PE variants, and
+    degenerate streams.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        strips=st.integers(1, 4),
+        rows=st.sampled_from([1, 2, 4, 8, 16]),
+        cols=st.sampled_from([1, 2, 8]),
+        steps=st.integers(1, 16),
+        spread=st.integers(0, 8),
+        zero_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+        ob_skip=st.booleans(),
+        saturate=st.booleans(),
+        window=st.integers(1, 8),
+        warm=st.sampled_from([None, 1.0, 1e6]),
+    )
+    def test_schedule_bit_identical(
+        self,
+        seed,
+        strips,
+        rows,
+        cols,
+        steps,
+        spread,
+        zero_fraction,
+        ob_skip,
+        saturate,
+        window,
+        warm,
+    ):
+        from repro.core.tile import accumulator_exponents
+
+        config = TileConfig(
+            rows=rows,
+            cols=cols,
+            pe=PEConfig(
+                ob_skip=ob_skip,
+                saturate_shifts=saturate,
+                shift_window=window,
+            ),
+        )
+        a, b, rng = _strip_stack(
+            seed, strips, rows, cols, steps, spread, zero_fraction
+        )
+        initial = (
+            None if warm is None else rng.normal(0, warm, (strips, rows, cols))
+        )
+        sim = TileSimulator(config)
+        eacc = accumulator_exponents(a, b, initial)
+        batched = sim._schedule_strip_columns(a, b, eacc)
+        for i in range(strips):
+            ref = sim._schedule_columns(a[i], b[i], eacc[i])
+            for field in (
+                "cycles",
+                "useful",
+                "shift_stall",
+                "no_term",
+                "terms_processed",
+                "terms_zero_skipped",
+                "terms_ob_skipped",
+            ):
+                got = getattr(batched, field)[i]
+                want = getattr(ref, field).reshape(got.shape)
+                assert (got == want).all(), field
+
+
+class TestPhaseStacking:
+    """Multi-phase stacks == per-phase batched calls, bit for bit."""
+
+    def _workloads(self, model="NCF", acc_profile=None):
+        from repro.traces.workloads import build_workloads
+
+        return build_workloads(
+            model, progress=0.5, seed=0, acc_profile=acc_profile, cache=None
+        )
+
+    def test_stacked_equals_unstacked(self):
+        workloads = self._workloads()
+        stacked = AcceleratorSimulator().simulate_workload(workloads)
+        unstacked = AcceleratorSimulator(
+            phase_stacking=False
+        ).simulate_workload(workloads)
+        assert stacked.to_dict() == unstacked.to_dict()
+
+    def test_stacked_equals_serial_reference(self):
+        workloads = self._workloads()
+        stacked = AcceleratorSimulator(
+            sample_strips=2, sample_steps=8
+        ).simulate_workload(workloads)
+        serial = AcceleratorSimulator(
+            sample_strips=2, sample_steps=8, strip_engine="serial"
+        ).simulate_workload(workloads)
+        assert stacked.to_dict() == serial.to_dict()
+
+    def test_mixed_tile_configs_group_correctly(self):
+        """Per-layer accumulator overrides split phases into distinct
+        stacks; results still match the unstacked path."""
+        from repro.models.zoo import get_model
+
+        layers = [layer.name for layer in get_model("NCF").layers]
+        profile = {layers[0]: 9, layers[1]: 15}
+        workloads = self._workloads(acc_profile=profile)
+        stacked = AcceleratorSimulator().simulate_workload(workloads)
+        unstacked = AcceleratorSimulator(
+            phase_stacking=False
+        ).simulate_workload(workloads)
+        assert stacked.to_dict() == unstacked.to_dict()
+
+    def test_chunking_boundary(self):
+        """A tiny stack cap forces multiple chunked engine calls."""
+        workloads = self._workloads()
+        small = AcceleratorSimulator()
+        small._MAX_STACK_ROWS = 1  # one phase per call, degenerate cap
+        large = AcceleratorSimulator()
+        assert (
+            small.simulate_workload(workloads).to_dict()
+            == large.simulate_workload(workloads).to_dict()
+        )
+
+    def test_pragmatic_stacking(self):
+        workloads = self._workloads()
+        stacked = PragmaticFPAccelerator().simulate_workload(workloads)
+        unstacked = PragmaticFPAccelerator(
+            phase_stacking=False
+        ).simulate_workload(workloads)
+        assert stacked.to_dict() == unstacked.to_dict()
+
+
 def _phase_workload(seed, sparsity=0.4, size=2048):
     rng = np.random.default_rng(seed)
     values_a = bf16_quantize(rng.normal(0, 1, size))

@@ -1,0 +1,105 @@
+"""Chunk-vectorized matmul emulation vs the serial group-loop reference.
+
+`MatmulEngine._matmul_emulated` runs every full 64-MAC chunk of the
+reduction concurrently in int16/float32 sign-magnitude form; the serial
+float64 reference (`_matmul_emulated_reference`) is kept as the
+bit-exactness anchor, mirroring the serial tile engine.  These tests
+pin the two against each other across shapes (chunk boundaries, tails,
+single-group reductions), modes, accumulator configurations, and
+operand magnitudes up to the bfloat16 extremes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.bfloat16 import bf16_quantize
+from repro.nn.fpmath import EngineConfig, MatmulEngine
+
+# Operands near the bfloat16 magnitude limits overflow the fp32 outer
+# fold to inf in BOTH engines (the emulation's defined saturating
+# behavior); numpy flags the cast, the property asserts the bits match.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:overflow encountered in cast:RuntimeWarning"
+)
+
+
+def _operands(seed, m, k, n, spread, sparsity):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 1, (m, k)) * 2.0 ** rng.integers(
+        -spread, spread + 1, (m, k)
+    )
+    b = rng.normal(0, 1, (k, n)) * 2.0 ** rng.integers(
+        -spread, spread + 1, (k, n)
+    )
+    a[rng.random(a.shape) < sparsity] = 0.0
+    return a, b
+
+
+def _assert_same(got, want):
+    both_nan = np.isnan(got) & np.isnan(want)
+    same = ((got == want) & (np.signbit(got) == np.signbit(want))) | both_nan
+    assert same.all()
+
+
+class TestChunkedMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        m=st.integers(1, 24),
+        k=st.integers(1, 200),
+        n=st.integers(1, 12),
+        spread=st.sampled_from([0, 4, 20, 120]),
+        sparsity=st.sampled_from([0.0, 0.4, 1.0]),
+        mode=st.sampled_from(["bf16", "fpraker"]),
+        frac_bits=st.sampled_from([5, 12, 23]),
+    )
+    def test_property(self, seed, m, k, n, spread, sparsity, mode, frac_bits):
+        engine = MatmulEngine(EngineConfig(mode=mode, acc_frac_bits=frac_bits))
+        a, b = _operands(seed, m, k, n, spread, sparsity)
+        fpraker = mode == "fpraker"
+        _assert_same(
+            engine.matmul(a, b),
+            engine._matmul_emulated_reference(a, b, fpraker),
+        )
+
+    def test_chunk_boundaries(self):
+        """k at, just below, and just above flush points."""
+        for k in (63, 64, 65, 127, 128, 129, 512):
+            for mode in ("bf16", "fpraker"):
+                engine = MatmulEngine(EngineConfig(mode=mode))
+                a, b = _operands(k, 5, k, 3, 6, 0.3)
+                _assert_same(
+                    engine.matmul(a, b),
+                    engine._matmul_emulated_reference(a, b, mode == "fpraker"),
+                )
+
+    def test_custom_chunk_and_group(self):
+        for mode in ("bf16", "fpraker"):
+            engine = MatmulEngine(
+                EngineConfig(mode=mode, chunk_size=16, group=4)
+            )
+            a, b = _operands(7, 9, 53, 4, 8, 0.2)
+            _assert_same(
+                engine.matmul(a, b),
+                engine._matmul_emulated_reference(a, b, mode == "fpraker"),
+            )
+
+    def test_pre_quantized_flag_is_a_pure_fast_path(self):
+        for mode in ("bf16", "fpraker"):
+            engine = MatmulEngine(EngineConfig(mode=mode))
+            a, b = _operands(11, 8, 96, 6, 10, 0.3)
+            aq, bq = bf16_quantize(a), bf16_quantize(b)
+            _assert_same(
+                engine.matmul(aq, bq, pre_quantized=True),
+                engine.matmul(aq, bq),
+            )
+
+    def test_all_zero_operands(self):
+        engine = MatmulEngine(EngineConfig(mode="fpraker"))
+        a = np.zeros((4, 70))
+        b = np.zeros((70, 3))
+        got = engine.matmul(a, b)
+        assert (got == 0.0).all()
+        _assert_same(got, engine._matmul_emulated_reference(a, b, True))
