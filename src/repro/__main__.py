@@ -56,6 +56,7 @@ EXPERIMENTS = {
     "fig19-20": experiments.run_fig19_20_rows,
     "fig21": experiments.run_fig21_accwidth,
     "memory_profile": experiments.run_memory_profile,
+    "scaleout": experiments.run_scaleout,
     "pragmatic": experiments.run_pragmatic_comparison,
     "ext-precision": run_precision_schedule,
     "ext-inference": run_inference_extension,
@@ -64,8 +65,8 @@ EXPERIMENTS = {
 # Experiments that accept a `models` keyword.
 _MODEL_AWARE = {
     "fig1", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig18", "fig19-20", "memory_profile", "pragmatic",
-    "ext-inference",
+    "fig15", "fig16", "fig18", "fig19-20", "memory_profile", "scaleout",
+    "pragmatic", "ext-inference",
 }
 
 
@@ -104,14 +105,22 @@ def _validate_models(models: list[str] | None) -> list[str]:
     return [name for name in models if name not in MODEL_ZOO]
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point.
+def _positive_int(text: str) -> int:
+    """Argparse type for a strictly positive integer."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
-    Args:
-        argv: argument list (defaults to ``sys.argv[1:]``).
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the full ``repro`` argument parser.
+
+    Exposed separately so ``docs/CLI.md`` can be generated from (and
+    sync-tested against) the real parser tree.
 
     Returns:
-        Process exit code.
+        The configured :class:`argparse.ArgumentParser`.
     """
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,6 +195,34 @@ def main(argv: list[str] | None = None) -> int:
         default="roofline",
         help="memory model for FPRaker simulations (default: roofline)",
     )
+    runner.add_argument(
+        "--nodes",
+        nargs="+",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="scale-out node counts for the scaleout experiment "
+        "(default: 1 2 4 8)",
+    )
+    runner.add_argument(
+        "--partition",
+        choices=("data", "model", "pipeline"),
+        default=None,
+        help="scale-out partition scheme (default: data)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code.
+    """
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -256,6 +293,11 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = {}
         if args.models and name in _MODEL_AWARE:
             kwargs["models"] = tuple(args.models)
+        if name == "scaleout":
+            if args.nodes:
+                kwargs["nodes"] = tuple(args.nodes)
+            if args.partition:
+                kwargs["partition"] = args.partition
         if _accepts_session(func):
             kwargs["session"] = session
         result = func(**kwargs)

@@ -1,10 +1,12 @@
 """On-disk persistence of simulation results.
 
-One file per canonical simulation key, holding the JSON round-trip of a
-:class:`repro.core.accelerator.WorkloadResult` (via its ``to_dict``).
-Python's ``json`` emits shortest-round-trip float literals, so a loaded
-result is bit-identical to the simulated one -- warm ``run`` invocations
-reproduce cold ones exactly.
+One file per canonical simulation key, holding the JSON round-trip of
+a :class:`repro.core.accelerator.WorkloadResult` or a
+:class:`repro.scale.ScaleOutResult` (via its ``to_dict``; a ``kind``
+tag picks the class on the way back).  Python's ``json`` emits
+shortest-round-trip float literals, so a loaded result is bit-identical
+to the simulated one -- warm ``run`` invocations reproduce cold ones
+exactly.
 
 The store is deliberately simple: content-addressed file names (SHA-256
 of the key), atomic writes via a temp file, and unreadable or stale
@@ -28,7 +30,9 @@ from repro.core.accelerator import WorkloadResult
 # warm runs.
 # v2: canonical keys carry the memory engine and counters may embed a
 # MemoryTrafficResult (hierarchy runs).
-CACHE_VERSION = 2
+# v3: canonical keys carry nodes/partition and entries carry a "kind"
+# tag (scale-out results persist alongside single-node ones).
+CACHE_VERSION = 3
 
 
 class ResultCache:
@@ -66,6 +70,10 @@ class ResultCache:
         if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
             return None
         try:
+            if payload.get("kind") == "scaleout":
+                from repro.scale.scaleout import ScaleOutResult
+
+                return ScaleOutResult.from_dict(payload["result"])
             return WorkloadResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
@@ -85,6 +93,9 @@ class ResultCache:
         payload = {
             "version": CACHE_VERSION,
             "key": key,
+            "kind": (
+                "workload" if isinstance(result, WorkloadResult) else "scaleout"
+            ),
             "result": result.to_dict(),
         }
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")

@@ -785,6 +785,96 @@ def run_fig21_accwidth(
     return table
 
 
+def run_scaleout(
+    models: tuple[str, ...] = STUDIED_MODELS,
+    nodes: tuple[int, ...] = (1, 2, 4, 8),
+    partition: str = "data",
+    progress: float = 0.5,
+    seed: int = 0,
+    session: SimulationSession | None = None,
+) -> tuple[Table, Table]:
+    """Scale-out: training-step speedup and energy vs node count.
+
+    Splits each model across N compute nodes under the chosen
+    partition scheme (:mod:`repro.scale`), prices the inter-node
+    collectives, and reports scaling against the same configuration's
+    single-node run.  The N=1 anchor shares its canonical key with
+    plain single-node simulations, so sessions that already ran e.g.
+    fig11 get it for free.
+
+    Args:
+        models: Table-I models to sweep.
+        nodes: node counts (the paper-style sweep is 1/2/4/8).
+        partition: ``"data"``, ``"model"`` or ``"pipeline"``.
+        progress: training progress in [0, 1].
+        seed: workload RNG seed.
+        session: shared simulation session (None = private).
+
+    Returns:
+        Two tables: the aggregate sweep (speedup, efficiency, comm
+        share, energy vs N) and the per-node breakdown at ``max(nodes)``.
+    """
+    from repro.scale.scaleout import single_node_result
+
+    if session is None:
+        session = SimulationSession()
+    counts = tuple(sorted(set(int(n) for n in nodes)))
+    if not counts or counts[0] < 1:
+        raise ValueError(f"node counts must be >= 1, got {nodes!r}")
+    session.prefetch(
+        [
+            SimRequest.make(
+                model, None, progress, seed, nodes=n, partition=partition
+            )
+            for model in models
+            for n in counts
+        ]
+    )
+    aggregate = Table(
+        f"Scale-out ({partition}-parallel): training step vs nodes",
+        ["Model", "Nodes", "Cycles", "Speedup vs 1", "Efficiency",
+         "Comm share", "Energy (mJ)", "Link energy (mJ)"],
+    )
+    detail = Table(
+        f"Scale-out ({partition}-parallel): per-node breakdown at "
+        f"N={counts[-1]}",
+        ["Model", "Node", "Layer-phases", "Compute cycles", "Comm cycles",
+         "Step cycles", "Energy (mJ)"],
+    )
+    for model in models:
+        anchor = None
+        for n in counts:
+            run = session.scaleout(model, n, partition, None, progress, seed)
+            if n == 1:
+                # The N=1 path returns the plain single-node result
+                # (shared cache key); view it as a 1-node run.
+                run = single_node_result(run, partition)
+            if anchor is None:
+                anchor = run
+            aggregate.add_row(
+                model,
+                run.nodes,
+                run.cycles,
+                anchor.cycles / run.cycles,
+                anchor.cycles / run.cycles / run.nodes,
+                run.comm_cycles / run.cycles if run.cycles else 0.0,
+                run.total_energy_nj / 1e6,
+                run.link_energy_nj / 1e6,
+            )
+            if n == counts[-1]:
+                for summary in run.node_summaries:
+                    detail.add_row(
+                        model,
+                        summary.node_id,
+                        summary.layer_phases,
+                        summary.cycles,
+                        summary.comm.cycles,
+                        summary.step_cycles,
+                        (summary.energy.total + summary.comm.energy_nj) / 1e6,
+                    )
+    return aggregate, detail
+
+
 def run_pragmatic_comparison(
     models: tuple[str, ...] = STUDIED_MODELS,
     progress: float = 0.5,

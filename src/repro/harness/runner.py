@@ -54,6 +54,12 @@ class SimRequest:
         acc_profile: per-layer accumulator widths as sorted
             ``(layer, frac_bits)`` pairs (hashable form of the dict).
         phases: training phases to build (None = all three).
+        nodes: scale-out compute-node count (1 = the plain single-node
+            path, returning a :class:`WorkloadResult`; more than one
+            routes through :class:`repro.scale.ScaleOutSimulator` and
+            returns a :class:`ScaleOutResult`).
+        partition: scale-out partition scheme (``"data"``, ``"model"``,
+            ``"pipeline"``); ignored when ``nodes`` is 1.
     """
 
     model: str
@@ -62,6 +68,8 @@ class SimRequest:
     seed: int = 0
     acc_profile: tuple[tuple[str, int], ...] | None = None
     phases: tuple[str, ...] | None = None
+    nodes: int = 1
+    partition: str = "data"
 
     @staticmethod
     def make(
@@ -71,6 +79,8 @@ class SimRequest:
         seed: int = 0,
         acc_profile: dict[str, int] | None = None,
         phases: tuple[str, ...] | None = None,
+        nodes: int = 1,
+        partition: str = "data",
     ) -> "SimRequest":
         """Normalize loose arguments (dict profile) into a request."""
         profile = (
@@ -83,6 +93,8 @@ class SimRequest:
             seed=int(seed),
             acc_profile=profile,
             phases=tuple(phases) if phases is not None else None,
+            nodes=int(nodes),
+            partition=partition,
         )
 
     def resolved_config(self) -> AcceleratorConfig:
@@ -105,7 +117,10 @@ def canonical_key(
     the memory engine produces a distinct key.  The analytic baseline
     is priced identically under both memory engines, so its keys ignore
     the engine -- roofline and hierarchy sessions share one cached
-    baseline per (model, progress, seed).
+    baseline per (model, progress, seed).  A one-node request normalizes
+    its partition scheme away (every scheme is bit-identical to the
+    unpartitioned path at N=1), so scale-out sweeps share their N=1
+    anchor with plain single-node runs.
     """
     config = request.resolved_config()
     spec = {
@@ -121,6 +136,8 @@ def canonical_key(
         "memory_engine": (
             "roofline" if config.name == "baseline" else memory_engine
         ),
+        "nodes": request.nodes,
+        "partition": None if request.nodes == 1 else request.partition,
     }
     return json.dumps(spec, sort_keys=True, separators=(",", ":"))
 
@@ -151,7 +168,9 @@ def execute_request(
             builds.
 
     Returns:
-        The simulated :class:`WorkloadResult`.
+        The simulated :class:`WorkloadResult` -- or, when
+        ``request.nodes > 1``, the aggregated
+        :class:`repro.scale.ScaleOutResult`.
     """
     config = request.resolved_config()
     kwargs = {}
@@ -165,6 +184,19 @@ def execute_request(
         cache=workload_cache,
         **kwargs,
     )
+    if request.nodes > 1:
+        from repro.scale.scaleout import ScaleOutSimulator
+
+        simulator = ScaleOutSimulator(
+            config,
+            nodes=request.nodes,
+            scheme=request.partition,
+            sample_strips=sample_strips,
+            sample_steps=sample_steps,
+            seed=sim_seed,
+            memory_engine=memory_engine,
+        )
+        return simulator.simulate_workload(workloads, model=request.model)
     if config.name == "baseline":
         return BaselineAccelerator(config).simulate_workload(workloads)
     simulator_cls = (
@@ -318,6 +350,41 @@ class SimulationSession:
     ) -> WorkloadResult:
         """Simulate (or fetch) the Pragmatic-FP comparison point."""
         return self.simulate(model, pragmatic_paper_config(), progress, seed)
+
+    def scaleout(
+        self,
+        model: str,
+        nodes: int,
+        partition: str = "data",
+        config: AcceleratorConfig | None = None,
+        progress: float = 0.5,
+        seed: int = 0,
+    ):
+        """Simulate (or fetch) a multi-node scale-out run.
+
+        Args:
+            model: Table-I model name.
+            nodes: compute-node count (>= 1).
+            partition: ``"data"``, ``"model"`` or ``"pipeline"``.
+            config: per-node accelerator config (None = paper FPRaker).
+            progress: training progress in [0, 1].
+            seed: workload RNG seed.
+
+        Returns:
+            A :class:`repro.scale.ScaleOutResult` for ``nodes > 1``; the
+            plain single-node :class:`WorkloadResult` at ``nodes == 1``
+            (same canonical key as :meth:`simulate`, so the N=1 anchor
+            of a sweep shares its cache entry with ordinary runs).
+        """
+        request = SimRequest.make(
+            model,
+            config,
+            progress,
+            seed,
+            nodes=nodes,
+            partition=partition,
+        )
+        return self._get(request)
 
     # -- execution ---------------------------------------------------------
 

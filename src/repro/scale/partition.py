@@ -1,0 +1,416 @@
+"""Split a workload across N compute nodes under a parallelism scheme.
+
+A :class:`PartitionPlan` maps a model's :class:`PhaseWorkload` list onto
+N :class:`NodePlan` shards, one per compute node, plus the raw
+communication volumes each node owes per training step.  Three schemes
+are implemented, mirroring how training is actually sharded:
+
+========== ===================================================================
+scheme     what each node holds / computes
+========== ===================================================================
+data       the full model over ``batch / N`` samples: activation and
+           gradient streams shrink by N, weights are replicated (read in
+           full per node), and each node produces full-size local weight
+           gradients that are ring **all-reduced** once per step.
+model      a ``1/N`` output-channel shard of every layer: weight streams
+           shrink by N, inputs are replicated, each layer's forward
+           output shard is **all-gathered** and the backward
+           input-gradient partials are **reduce-scattered**.
+pipeline   a contiguous block of layers (balanced by MACs): workloads
+           pass through *unchanged*, and adjacent stages exchange the
+           boundary activation forward and its gradient backward.
+========== ===================================================================
+
+MAC and reduction bookkeeping follows the sharded math: data
+parallelism splits the batch, so the weight-gradient (``AxG``)
+reduction -- which runs over batch x spatial -- shrinks by N; model
+parallelism splits output channels, so the input-gradient (``GxW``)
+reduction -- over output channels -- shrinks by N.  Per-node MAC counts
+are ``ceil(macs / N)`` (the last ragged shard pads, exactly like a
+ragged tile edge).
+
+The N=1 plan of **every** scheme assigns the *original workload
+objects, untouched* to node 0 with zero communication -- simulating the
+plan is then literally the single-node simulation, which is what the
+conformance and property suites pin bit for bit.
+
+Value streams are never copied or re-sampled: shards share the parent
+workload's (immutable, possibly cache-held) sample arrays, so the
+per-workload memos (serial-side choice, base-delta ratio) keep paying
+off across nodes and configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.workload import PhaseWorkload, StreamSpec
+from repro.scale.interconnect import (
+    all_gather_wire_bytes,
+    all_reduce_wire_bytes,
+)
+
+SCHEMES = ("data", "model", "pipeline")
+
+
+@dataclass
+class CommVolume:
+    """Raw (unpriced) communication a node owes per training step.
+
+    Attributes:
+        payload_bytes: logical bytes its collectives cover.
+        wire_bytes: bytes the node puts on its links.
+        steps: serialized hops (ring steps or handoffs).
+    """
+
+    payload_bytes: float = 0.0
+    wire_bytes: float = 0.0
+    steps: float = 0.0
+
+
+@dataclass
+class NodePlan:
+    """One compute node's shard of the partitioned workload.
+
+    Attributes:
+        node_id: node index in [0, nodes).
+        workloads: the layer-phases this node simulates (possibly
+            rescaled copies; empty for idle pipeline stages).
+        comm: the node's per-step communication volumes.
+    """
+
+    node_id: int
+    workloads: list[PhaseWorkload]
+    comm: CommVolume
+
+
+@dataclass
+class PartitionPlan:
+    """A full mapping of one workload onto N compute nodes.
+
+    Attributes:
+        scheme: partition scheme (one of :data:`SCHEMES`).
+        nodes: compute-node count.
+        node_plans: one :class:`NodePlan` per node.
+        symmetric: every node's shard (and communication) is identical,
+            so simulating node 0 suffices -- true for data and model
+            parallelism, false for pipeline stages.
+    """
+
+    scheme: str
+    nodes: int
+    node_plans: list[NodePlan]
+    symmetric: bool
+
+
+def _ceil_div(value: int, divisor: int) -> int:
+    """Ceiling integer division of non-negative operands."""
+    return -(-value // divisor)
+
+
+def _scale_stream(stream: StreamSpec, factor: float) -> StreamSpec:
+    """A stream shrunk to ``factor`` of its volume (copies follow)."""
+    return replace(
+        stream,
+        volume_bytes=stream.volume_bytes * factor,
+        dram_bytes=stream.dram_bytes * factor,
+        copies=stream.copies * factor,
+    )
+
+
+def _stream_traffic(streams: tuple[StreamSpec, ...]) -> tuple[float, float]:
+    """Off-chip (input_bytes, output_bytes) summed from a stream set."""
+    input_bytes = sum(s.dram_bytes for s in streams if s.direction == "read")
+    output_bytes = sum(s.dram_bytes for s in streams if s.direction == "write")
+    return input_bytes, output_bytes
+
+
+def _shard_workload(
+    workload: PhaseWorkload,
+    nodes: int,
+    stream_factor_of,
+    reduction_factor: int,
+) -> PhaseWorkload:
+    """One node's rescaled copy of a workload.
+
+    Args:
+        workload: the original layer-phase.
+        nodes: node count (MACs split ``ceil(macs / nodes)``).
+        stream_factor_of: callable mapping a stream to its volume scale
+            factor (1.0 keeps it, ``1 / nodes`` shards it).
+        reduction_factor: divisor applied to the reduction length (1
+            keeps it; N when the sharded dimension is the reduction).
+
+    Returns:
+        A new :class:`PhaseWorkload` sharing the original value arrays.
+    """
+    streams = tuple(
+        _scale_stream(s, stream_factor_of(s)) for s in workload.streams
+    )
+    if streams:
+        input_bytes, output_bytes = _stream_traffic(streams)
+    else:
+        # No geometry attached: fall back to uniform byte scaling by
+        # the average stream factor (the batch split).
+        input_bytes = workload.input_bytes / nodes
+        output_bytes = workload.output_bytes / nodes
+    return replace(
+        workload,
+        macs=_ceil_div(workload.macs, nodes),
+        reduction=max(1, workload.reduction // reduction_factor),
+        input_bytes=input_bytes,
+        output_bytes=output_bytes,
+        streams=streams,
+    )
+
+
+def _phase_write_volume(
+    workloads: list[PhaseWorkload], phase: str, tensor: str
+) -> float:
+    """Total write-stream volume of one tensor across a phase's layers.
+
+    Falls back to the phases' ``output_bytes`` for workloads without
+    stream geometry, so geometry-free workloads still price collectives.
+    """
+    total = 0.0
+    for workload in workloads:
+        if workload.phase != phase:
+            continue
+        if workload.streams:
+            total += sum(
+                s.volume_bytes
+                for s in workload.streams
+                if s.direction == "write" and s.tensor == tensor
+            )
+        else:
+            total += workload.output_bytes
+    return total
+
+
+def _data_parallel(
+    workloads: list[PhaseWorkload], nodes: int
+) -> PartitionPlan:
+    """Batch split: activations/gradients shard, weights replicate."""
+
+    def factor_of(stream: StreamSpec) -> float:
+        # Weight reads are replicated and local weight gradients are
+        # full size before the all-reduce; everything batched shards.
+        return 1.0 if stream.tensor == "W" else 1.0 / nodes
+
+    shards = [
+        _shard_workload(
+            w,
+            nodes,
+            factor_of,
+            # The weight-gradient reduction runs over batch x spatial,
+            # which is exactly the dimension the batch split shards.
+            reduction_factor=nodes if w.phase == "AxG" else 1,
+        )
+        for w in workloads
+    ]
+    # One fused ring all-reduce of the step's weight gradients
+    # (gradient bucketing): 2(N-1) serialized neighbor steps.
+    payload = _phase_write_volume(workloads, "AxG", "W")
+    comm = CommVolume(
+        payload_bytes=payload,
+        wire_bytes=all_reduce_wire_bytes(payload, nodes),
+        steps=2.0 * (nodes - 1),
+    )
+    return PartitionPlan(
+        scheme="data",
+        nodes=nodes,
+        node_plans=[
+            NodePlan(node_id=i, workloads=list(shards), comm=comm)
+            for i in range(nodes)
+        ],
+        symmetric=True,
+    )
+
+
+def _model_parallel(
+    workloads: list[PhaseWorkload], nodes: int
+) -> PartitionPlan:
+    """Output-channel split: weights shard, inputs replicate."""
+
+    def factor_of(phase: str):
+        def inner(stream: StreamSpec) -> float:
+            if stream.tensor == "W":
+                return 1.0 / nodes  # every node holds a weight shard
+            if phase == "AxW":
+                # Forward: input activations replicate, the output shard
+                # is local until the all-gather.
+                return 1.0 / nodes if stream.direction == "write" else 1.0
+            if phase == "GxW":
+                # Backward data: the gradient shard is local; the
+                # input-gradient partials are full size pre
+                # reduce-scatter.
+                return 1.0 / nodes if stream.direction == "read" else 1.0
+            # AxG: activations replicate, the gradient shard feeds a
+            # weight-gradient shard.
+            return 1.0 / nodes if stream.tensor == "G" else 1.0
+
+        return inner
+
+    shards = [
+        _shard_workload(
+            w,
+            nodes,
+            factor_of(w.phase),
+            # The input-gradient reduction runs over output channels --
+            # the sharded dimension.
+            reduction_factor=nodes if w.phase == "GxW" else 1,
+        )
+        for w in workloads
+    ]
+    # Per-layer collectives: all-gather each forward output, reduce-
+    # scatter each backward input-gradient; each is N-1 ring steps.
+    gather_payload = _phase_write_volume(workloads, "AxW", "G")
+    scatter_payload = _phase_write_volume(workloads, "GxW", "A")
+    collectives = sum(
+        1 for w in workloads if w.phase in ("AxW", "GxW")
+    )
+    comm = CommVolume(
+        payload_bytes=gather_payload + scatter_payload,
+        wire_bytes=(
+            all_gather_wire_bytes(gather_payload, nodes)
+            + all_gather_wire_bytes(scatter_payload, nodes)
+        ),
+        steps=float((nodes - 1) * collectives),
+    )
+    return PartitionPlan(
+        scheme="model",
+        nodes=nodes,
+        node_plans=[
+            NodePlan(node_id=i, workloads=list(shards), comm=comm)
+            for i in range(nodes)
+        ],
+        symmetric=True,
+    )
+
+
+def _layer_order(workloads: list[PhaseWorkload]) -> list[str]:
+    """Distinct layer names in first-appearance (network) order."""
+    seen: dict[str, None] = {}
+    for workload in workloads:
+        seen.setdefault(workload.layer, None)
+    return list(seen)
+
+
+def _stage_boundaries(
+    layers: list[str], layer_macs: dict[str, int], nodes: int
+) -> list[list[str]]:
+    """Split layers into ``nodes`` contiguous stages balanced by MACs.
+
+    A greedy walk closes each stage once its cumulative MACs reach the
+    stage's proportional share, always leaving at least one layer per
+    remaining non-empty stage.  Stages beyond the layer count are empty
+    (idle nodes).
+    """
+    total = sum(layer_macs[name] for name in layers)
+    stages: list[list[str]] = [[] for _ in range(nodes)]
+    stage, acc = 0, 0
+    for index, name in enumerate(layers):
+        remaining_layers = len(layers) - index
+        remaining_stages = nodes - stage
+        # Close the stage early if the remaining stages need every
+        # remaining layer, or its MAC share is already met.
+        if stages[stage] and (
+            remaining_layers <= remaining_stages - 1
+            or acc >= (stage + 1) * total / nodes
+        ):
+            if stage < nodes - 1:
+                stage += 1
+        stages[stage].append(name)
+        acc += layer_macs[name]
+    return stages
+
+
+def _pipeline_parallel(
+    workloads: list[PhaseWorkload], nodes: int
+) -> PartitionPlan:
+    """Contiguous layer blocks; boundary activations hand off."""
+    layers = _layer_order(workloads)
+    layer_macs: dict[str, int] = {}
+    for workload in workloads:
+        layer_macs[workload.layer] = (
+            layer_macs.get(workload.layer, 0) + workload.macs
+        )
+    stages = _stage_boundaries(layers, layer_macs, nodes)
+    # Boundary i sits between stage i and stage i+1; its volume is the
+    # output activation of stage i's last layer (== the forward 'G'
+    # write of that layer's AxW phase), exchanged forward as the
+    # activation and backward as its gradient.
+    boundary: list[float] = []
+    for stage_layers in stages[:-1]:
+        if not stage_layers:
+            boundary.append(0.0)
+            continue
+        last = stage_layers[-1]
+        boundary.append(
+            _phase_write_volume(
+                [w for w in workloads if w.layer == last], "AxW", "G"
+            )
+        )
+    node_plans = []
+    for i, stage_layers in enumerate(stages):
+        members = set(stage_layers)
+        stage_workloads = [w for w in workloads if w.layer in members]
+        fwd = boundary[i] if i < nodes - 1 and stage_workloads else 0.0
+        bwd = boundary[i - 1] if i > 0 and stage_workloads else 0.0
+        comm = CommVolume(
+            payload_bytes=fwd + bwd,
+            # The activation goes forward and its gradient comes back,
+            # each crossing one link.
+            wire_bytes=2.0 * fwd + 2.0 * bwd,
+            steps=float((1 if fwd else 0) + (1 if bwd else 0)),
+        )
+        node_plans.append(
+            NodePlan(node_id=i, workloads=stage_workloads, comm=comm)
+        )
+    return PartitionPlan(
+        scheme="pipeline",
+        nodes=nodes,
+        node_plans=node_plans,
+        symmetric=False,
+    )
+
+
+def partition_workloads(
+    workloads: list[PhaseWorkload], nodes: int, scheme: str
+) -> PartitionPlan:
+    """Partition a workload list across N nodes under a scheme.
+
+    Args:
+        workloads: one model's layer-phases (one training step).
+        nodes: compute-node count (>= 1).
+        scheme: ``"data"``, ``"model"`` or ``"pipeline"``.
+
+    Returns:
+        The :class:`PartitionPlan`.  With one node the plan holds the
+        *original* workload objects and zero communication, so its
+        simulation is bit-identical to the unpartitioned path.
+
+    Raises:
+        ValueError: on an unknown scheme, a non-positive node count, or
+            an empty workload list.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown partition scheme {scheme!r}; expected {SCHEMES}")
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    if not workloads:
+        raise ValueError("empty workload list")
+    if nodes == 1:
+        return PartitionPlan(
+            scheme=scheme,
+            nodes=1,
+            node_plans=[
+                NodePlan(node_id=0, workloads=list(workloads), comm=CommVolume())
+            ],
+            symmetric=True,
+        )
+    if scheme == "data":
+        return _data_parallel(workloads, nodes)
+    if scheme == "model":
+        return _model_parallel(workloads, nodes)
+    return _pipeline_parallel(workloads, nodes)

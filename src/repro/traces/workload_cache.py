@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from hashlib import sha256
@@ -164,7 +165,9 @@ class WorkloadCache:
                     return None
                 stack_a = np.asarray(data["values_a"], dtype=np.float64)
                 stack_b = np.asarray(data["values_b"], dtype=np.float64)
-        except (OSError, KeyError, ValueError):
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+            # BadZipFile/EOFError: a truncated or garbage archive (e.g.
+            # a crashed writer beat the atomic replace, or disk rot).
             return None
         if stack_a.shape != stack_b.shape or stack_a.ndim != 2:
             return None

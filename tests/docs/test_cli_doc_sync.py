@@ -1,0 +1,41 @@
+"""docs/CLI.md is generated -- fail the build when it drifts."""
+
+from repro.harness.clidoc import doc_path, render_cli_doc
+
+
+def test_cli_doc_exists():
+    assert doc_path().exists(), (
+        "docs/CLI.md is missing; generate it with "
+        "`python -m repro.harness.clidoc --write`"
+    )
+
+
+def test_cli_doc_in_sync():
+    committed = doc_path().read_text()
+    assert committed == render_cli_doc(), (
+        "docs/CLI.md no longer matches the argparse tree; regenerate "
+        "with `python -m repro.harness.clidoc --write`"
+    )
+
+
+def test_every_experiment_listed():
+    from repro.__main__ import EXPERIMENTS
+
+    text = doc_path().read_text()
+    for name in EXPERIMENTS:
+        assert f"- `{name}`" in text
+
+
+def test_render_is_deterministic():
+    assert render_cli_doc() == render_cli_doc()
+
+
+def test_check_mode_detects_drift(tmp_path, monkeypatch, capsys):
+    from repro.harness import clidoc
+
+    stale = tmp_path / "CLI.md"
+    stale.write_text("# stale\n")
+    monkeypatch.setattr(clidoc, "doc_path", lambda: stale)
+    assert clidoc.main(["--check"]) == 1
+    assert clidoc.main(["--write"]) == 0
+    assert clidoc.main(["--check"]) == 0

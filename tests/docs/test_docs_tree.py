@@ -1,0 +1,117 @@
+"""Markdown lint + internal-link check over the docs tree.
+
+Keeps README.md and docs/*.md from rotting: every relative link must
+resolve to a real file (and, for ``#fragment`` links, to a real heading
+anchor), each document carries exactly one H1, and code fences are
+balanced.  External (``http``) links are not fetched.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+DOCS = sorted(
+    [ROOT / "README.md", *(ROOT / "docs").glob("*.md")],
+    key=lambda p: p.as_posix(),
+)
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks (their content is not markdown)."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor slug of a heading text."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {
+        _anchor_of(match.group(2))
+        for match in map(
+            HEADING_RE.match, _strip_fences(path.read_text()).splitlines()
+        )
+        if match
+    }
+
+
+def _links(path: Path):
+    return LINK_RE.findall(_strip_fences(path.read_text()))
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_exists_and_nonempty(doc):
+    assert doc.exists() and doc.read_text().strip()
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_single_h1(doc):
+    h1s = [
+        line
+        for line in _strip_fences(doc.read_text()).splitlines()
+        if line.startswith("# ")
+    ]
+    assert len(h1s) == 1, f"{doc.name} has {len(h1s)} H1 headings: {h1s}"
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_code_fences_balanced(doc):
+    fences = sum(
+        1
+        for line in doc.read_text().splitlines()
+        if line.lstrip().startswith("```")
+    )
+    assert fences % 2 == 0, f"{doc.name} has an unclosed code fence"
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_internal_links_resolve(doc):
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            doc if not path_part else (doc.parent / path_part).resolve()
+        )
+        assert resolved.exists(), (
+            f"{doc.name}: broken link target {target!r}"
+        )
+        if fragment and resolved.suffix == ".md":
+            assert fragment in _anchors(resolved), (
+                f"{doc.name}: link {target!r} points at a missing "
+                f"anchor (known: {sorted(_anchors(resolved))})"
+            )
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_no_trailing_whitespace_rot(doc):
+    offenders = [
+        i + 1
+        for i, line in enumerate(doc.read_text().splitlines())
+        if line != line.rstrip()
+    ]
+    assert not offenders, f"{doc.name}: trailing whitespace on {offenders}"
+
+
+def test_architecture_names_real_modules():
+    """ARCHITECTURE.md's module map matches the actual source tree."""
+    text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    for package in ("core", "memory", "traces", "harness", "scale"):
+        assert f"`{package}/`" in text
+        assert (ROOT / "src" / "repro" / package).is_dir()

@@ -74,3 +74,63 @@ class TestCli:
     def test_every_registered_experiment_is_callable(self):
         for func in EXPERIMENTS.values():
             assert callable(func)
+
+
+class TestScaleoutCli:
+    def test_json_artifact_structure(self, capsys):
+        assert main(
+            ["run", "scaleout", "--models", "NCF", "--format", "json"]
+        ) == 0
+        aggregate, detail = json.loads(capsys.readouterr().out)
+        assert "Scale-out" in aggregate["title"]
+        assert aggregate["headers"][:2] == ["Model", "Nodes"]
+        # Default sweep: one aggregate row per N in {1, 2, 4, 8}.
+        assert [row[1] for row in aggregate["rows"]] == [1, 2, 4, 8]
+        # Per-node breakdown at N=8: one row per node.
+        assert [row[1] for row in detail["rows"]] == list(range(8))
+        # The N=1 anchor has speedup exactly 1 and no communication.
+        assert aggregate["rows"][0][3] == 1.0
+        assert aggregate["rows"][0][5] == 0.0
+
+    def test_json_artifact_deterministic(self, capsys):
+        args = [
+            "run", "scaleout", "--models", "NCF", "--nodes", "1", "2",
+            "4", "8", "--format", "json",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        json.loads(first)  # parseable
+
+    def test_partition_flag_changes_artifact(self, capsys):
+        base = ["run", "scaleout", "--models", "NCF", "--nodes", "1", "2",
+                "--format", "json"]
+        assert main(base) == 0
+        data = capsys.readouterr().out
+        assert main(base + ["--partition", "pipeline"]) == 0
+        pipe = capsys.readouterr().out
+        assert "pipeline-parallel" in pipe
+        assert pipe != data
+
+    def test_nodes_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "scaleout", "--nodes", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_partition_rejects_unknown_scheme(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "scaleout", "--partition", "ring"])
+        assert excinfo.value.code == 2
+
+    def test_scaleout_results_persist_in_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [
+            "run", "scaleout", "--models", "NCF", "--nodes", "1", "2",
+            "--cache", str(cache), "--format", "json",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0  # warm run reads the disk cache
+        assert capsys.readouterr().out == cold

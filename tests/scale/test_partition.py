@@ -1,0 +1,206 @@
+"""Partition plans: structure, sharded volumes, and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import PhaseWorkload
+from repro.fp.bfloat16 import bf16_quantize
+from repro.scale.interconnect import (
+    all_gather_wire_bytes,
+    all_reduce_wire_bytes,
+)
+from repro.scale.partition import SCHEMES, partition_workloads
+from repro.traces.workloads import build_workloads
+
+
+@pytest.fixture(scope="module")
+def ncf_workloads():
+    return build_workloads("NCF", progress=0.5)
+
+
+def _synthetic(layer="l0", phase="AxW", macs=4_000_000, reduction=512):
+    rng = np.random.default_rng(7)
+    return PhaseWorkload(
+        model="prop",
+        layer=layer,
+        phase=phase,
+        macs=macs,
+        reduction=reduction,
+        tensor_a="A",
+        tensor_b="W",
+        values_a=bf16_quantize(rng.normal(0, 1, 256)),
+        values_b=bf16_quantize(rng.normal(0, 1, 256)),
+        input_bytes=1e6,
+        output_bytes=2.5e5,
+    )
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self, ncf_workloads):
+        with pytest.raises(ValueError, match="unknown partition scheme"):
+            partition_workloads(ncf_workloads, 2, "ring")
+
+    def test_nonpositive_nodes_rejected(self, ncf_workloads):
+        with pytest.raises(ValueError, match="nodes"):
+            partition_workloads(ncf_workloads, 0, "data")
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            partition_workloads([], 2, "data")
+
+
+class TestSingleNodePassThrough:
+    """N=1 hands over the original objects with zero communication."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_original_objects_and_zero_comm(self, ncf_workloads, scheme):
+        plan = partition_workloads(ncf_workloads, 1, scheme)
+        assert plan.nodes == 1 and plan.symmetric
+        (node,) = plan.node_plans
+        assert all(a is b for a, b in zip(node.workloads, ncf_workloads))
+        assert len(node.workloads) == len(ncf_workloads)
+        assert node.comm.payload_bytes == 0.0
+        assert node.comm.wire_bytes == 0.0
+        assert node.comm.steps == 0.0
+
+
+class TestDataParallel:
+    def test_structure(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 4, "data")
+        assert plan.symmetric and len(plan.node_plans) == 4
+        for node in plan.node_plans:
+            assert len(node.workloads) == len(ncf_workloads)
+
+    def test_weights_replicate_batch_shards(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 4, "data")
+        for original, shard in zip(
+            ncf_workloads, plan.node_plans[0].workloads
+        ):
+            assert shard.macs == -(-original.macs // 4)
+            for s_orig, s_new in zip(original.streams, shard.streams):
+                if s_orig.tensor == "W":
+                    assert s_new.volume_bytes == s_orig.volume_bytes
+                else:
+                    assert s_new.volume_bytes == pytest.approx(
+                        s_orig.volume_bytes / 4
+                    )
+            if original.phase == "AxG":
+                assert shard.reduction == max(1, original.reduction // 4)
+            else:
+                assert shard.reduction == original.reduction
+            # Value arrays are shared, never copied.
+            assert shard.values_a is original.values_a
+
+    def test_allreduce_volume(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 8, "data")
+        payload = sum(
+            s.volume_bytes
+            for w in ncf_workloads
+            if w.phase == "AxG"
+            for s in w.streams
+            if s.direction == "write" and s.tensor == "W"
+        )
+        comm = plan.node_plans[0].comm
+        assert comm.payload_bytes == pytest.approx(payload)
+        assert comm.wire_bytes == pytest.approx(
+            all_reduce_wire_bytes(payload, 8)
+        )
+        assert comm.steps == 2 * (8 - 1)
+
+
+class TestModelParallel:
+    def test_weight_streams_shard(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 4, "model")
+        assert plan.symmetric
+        for original, shard in zip(
+            ncf_workloads, plan.node_plans[0].workloads
+        ):
+            for s_orig, s_new in zip(original.streams, shard.streams):
+                if s_orig.tensor == "W":
+                    assert s_new.volume_bytes == pytest.approx(
+                        s_orig.volume_bytes / 4
+                    )
+            if original.phase == "GxW":
+                assert shard.reduction == max(1, original.reduction // 4)
+
+    def test_collective_volume(self, ncf_workloads):
+        nodes = 4
+        plan = partition_workloads(ncf_workloads, nodes, "model")
+        gather = sum(
+            s.volume_bytes
+            for w in ncf_workloads
+            if w.phase == "AxW"
+            for s in w.streams
+            if s.direction == "write" and s.tensor == "G"
+        )
+        scatter = sum(
+            s.volume_bytes
+            for w in ncf_workloads
+            if w.phase == "GxW"
+            for s in w.streams
+            if s.direction == "write" and s.tensor == "A"
+        )
+        comm = plan.node_plans[0].comm
+        assert comm.payload_bytes == pytest.approx(gather + scatter)
+        assert comm.wire_bytes == pytest.approx(
+            all_gather_wire_bytes(gather, nodes)
+            + all_gather_wire_bytes(scatter, nodes)
+        )
+
+
+class TestPipelineParallel:
+    def test_contiguous_cover(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 2, "pipeline")
+        assert not plan.symmetric
+        assigned = [w for node in plan.node_plans for w in node.workloads]
+        assert sorted(id(w) for w in assigned) == sorted(
+            id(w) for w in ncf_workloads
+        )
+        # Workloads pass through unchanged (same objects).
+        assert all(any(w is o for o in ncf_workloads) for w in assigned)
+
+    def test_layers_not_split_across_stages(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 2, "pipeline")
+        stage_layers = [
+            {w.layer for w in node.workloads} for node in plan.node_plans
+        ]
+        for i, layers in enumerate(stage_layers):
+            for other in stage_layers[i + 1:]:
+                assert not layers & other
+
+    def test_more_nodes_than_layers_leaves_idle_stages(self):
+        workloads = [_synthetic(layer=f"l{i}") for i in range(2)]
+        plan = partition_workloads(workloads, 4, "pipeline")
+        busy = [node for node in plan.node_plans if node.workloads]
+        idle = [node for node in plan.node_plans if not node.workloads]
+        assert len(busy) == 2 and len(idle) == 2
+        for node in idle:
+            assert node.comm.wire_bytes == 0.0
+
+    def test_boundary_traffic_on_interior_stages(self, ncf_workloads):
+        plan = partition_workloads(ncf_workloads, 4, "pipeline")
+        busy = [node for node in plan.node_plans if node.workloads]
+        assert busy[0].comm.wire_bytes > 0.0  # sends forward
+        assert busy[-1].comm.wire_bytes > 0.0  # receives + returns grad
+        if len(busy) > 2:
+            # Interior stages pay both boundaries.
+            assert busy[1].comm.steps == 2.0
+
+
+class TestMacConservation:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("nodes", [2, 4, 8])
+    def test_macs_cover_original(self, ncf_workloads, scheme, nodes):
+        """Sharded MACs sum to >= the original (ceil padding only)."""
+        plan = partition_workloads(ncf_workloads, nodes, scheme)
+        total = sum(w.macs for w in ncf_workloads)
+        if scheme == "pipeline":
+            sharded = sum(
+                w.macs for node in plan.node_plans for w in node.workloads
+            )
+            assert sharded == total
+        else:
+            per_node = sum(w.macs for w in plan.node_plans[0].workloads)
+            assert total <= per_node * nodes < total + nodes * len(
+                ncf_workloads
+            )

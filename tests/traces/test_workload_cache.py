@@ -164,6 +164,137 @@ class TestDiskCache:
         assert cache_for(own) is own
 
 
+class TestVersionInvalidation:
+    """Bumping WORKLOAD_CACHE_VERSION must orphan every old entry."""
+
+    def test_memory_entries_invalidated(self, monkeypatch):
+        cache = WorkloadCache()
+        build_workloads("NCF", cache=cache)
+        assert cache.stats.builds == 1
+        monkeypatch.setattr(
+            "repro.traces.workload_cache.WORKLOAD_CACHE_VERSION",
+            WORKLOAD_CACHE_VERSION + 1,
+        )
+        build_workloads("NCF", cache=cache)
+        # The new-version key misses both layers and rebuilds cold.
+        assert cache.stats.builds == 2
+        assert cache.stats.hits == 0
+
+    def test_disk_entries_invalidated(self, tmp_path, monkeypatch):
+        writer = WorkloadCache(disk_dir=tmp_path)
+        build_workloads("NCF", cache=writer)
+        assert any(tmp_path.glob("workload-*.npz"))
+        monkeypatch.setattr(
+            "repro.traces.workload_cache.WORKLOAD_CACHE_VERSION",
+            WORKLOAD_CACHE_VERSION + 1,
+        )
+        reader = WorkloadCache(disk_dir=tmp_path)
+        build_workloads("NCF", cache=reader)
+        assert reader.stats.disk_hits == 0
+        assert reader.stats.builds == 1
+
+    def test_version_skewed_file_is_a_miss(self, tmp_path):
+        """An entry written under another version misses by key content."""
+        cache = WorkloadCache(disk_dir=tmp_path)
+        current = tensor_key("NCF", 0.5, ("AxW",), 8192, 0)
+        stale = current.replace(
+            f'"version":{WORKLOAD_CACHE_VERSION}',
+            f'"version":{WORKLOAD_CACHE_VERSION - 1}',
+        )
+        assert stale != current
+        workloads = build_workloads("NCF", phases=("AxW",), cache=None)
+        cache.store_tensors(stale, workloads)
+        cache.path_for(stale).rename(cache.path_for(current))
+        assert cache.load_tensors(current) is None
+
+
+class TestCorruptEntries:
+    def test_truncated_npz_is_a_miss(self, tmp_path):
+        cache = WorkloadCache(disk_dir=tmp_path)
+        key = tensor_key("NCF", 0.5, ("AxW",), 8192, 0)
+        cache.store_tensors(key, build_workloads("NCF", phases=("AxW",), cache=None))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load_tensors(key) is None
+
+    def test_missing_array_field_is_a_miss(self, tmp_path):
+        cache = WorkloadCache(disk_dir=tmp_path)
+        key = tensor_key("NCF", 0.5, ("AxW",), 8192, 0)
+        np.savez(cache.path_for(key), key=np.array(key))
+        assert cache.load_tensors(key) is None
+
+    def test_shape_skewed_arrays_are_a_miss(self, tmp_path):
+        cache = WorkloadCache(disk_dir=tmp_path)
+        key = tensor_key("NCF", 0.5, ("AxW",), 8192, 0)
+        np.savez(
+            cache.path_for(key),
+            key=np.array(key),
+            values_a=np.zeros((3, 8)),
+            values_b=np.zeros((2, 8)),
+        )
+        assert cache.load_tensors(key) is None
+
+    def test_wrong_rank_is_a_miss(self, tmp_path):
+        cache = WorkloadCache(disk_dir=tmp_path)
+        key = tensor_key("NCF", 0.5, ("AxW",), 8192, 0)
+        np.savez(
+            cache.path_for(key),
+            key=np.array(key),
+            values_a=np.zeros(8),
+            values_b=np.zeros(8),
+        )
+        assert cache.load_tensors(key) is None
+
+
+class TestLRUOrder:
+    """Eviction follows recency of *use*, not insertion."""
+
+    def test_get_refreshes_recency(self):
+        cache = WorkloadCache(capacity=2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.get("a")  # a becomes most recent
+        cache.put("c", [3])  # evicts b, not a
+        assert cache.get("a") == [1]
+        assert cache.get("b") is None
+        assert cache.get("c") == [3]
+
+    def test_put_refreshes_recency(self):
+        cache = WorkloadCache(capacity=2)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        cache.put("a", [10])  # refresh a by re-insert
+        cache.put("c", [3])  # evicts b
+        assert cache.get("a") == [10]
+        assert cache.get("b") is None
+
+    def test_eviction_is_fifo_without_touches(self):
+        cache = WorkloadCache(capacity=3)
+        for name in "abcd":
+            cache.put(name, [name])
+        assert cache.get("a") is None
+        assert [cache.get(k) is not None for k in "bcd"] == [True] * 3
+
+    def test_capacity_floor_is_one(self):
+        cache = WorkloadCache(capacity=0)
+        cache.put("a", [1])
+        cache.put("b", [2])
+        assert cache.get("a") is None
+        assert cache.get("b") == [2]
+
+    def test_build_access_refreshes_model_entry(self):
+        cache = WorkloadCache(capacity=2)
+        build_workloads("NCF", cache=cache)  # entry A
+        build_workloads("NCF", progress=0.6, cache=cache)  # entry B
+        build_workloads("NCF", cache=cache)  # hit refreshes A
+        build_workloads("NCF", progress=0.7, cache=cache)  # evicts B
+        before = cache.stats.builds
+        build_workloads("NCF", cache=cache)  # still a hit
+        assert cache.stats.builds == before
+        build_workloads("NCF", progress=0.6, cache=cache)  # rebuilt
+        assert cache.stats.builds == before + 1
+
+
 class TestGibbsCache:
     def test_cached_inverse_matches_bisection(self):
         gibbs_cache_clear()
