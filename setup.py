@@ -20,6 +20,13 @@ setup(
             "pytest-cov",
             "hypothesis",
         ],
+        # Static-analysis toolchain for the CI lint gate: ruff/mypy
+        # configs live in ruff.toml / mypy.ini; the project-specific
+        # rules need no extra install (`repro lint` ships in-package).
+        "lint": [
+            "ruff",
+            "mypy",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -10,6 +10,12 @@ Usage::
     python -m repro run all --cache .repro-cache   # warm reruns
     python -m repro run memory_profile             # traffic-engine profile
     python -m repro run fig15 --memory-engine hierarchy
+    python -m repro lint src/repro                 # static contract checks
+
+``lint`` runs the :mod:`repro.lint` static checker (the RPR rule set:
+determinism, cache-key completeness, serialization parity, dispatch
+exhaustiveness, artifact stability, docstring coverage) and exits 0
+on a clean tree, 1 when findings survive, 2 on usage errors.
 
 All simulation-driven experiments share one
 :class:`repro.harness.runner.SimulationSession`, so ``run all`` performs
@@ -35,6 +41,7 @@ from repro.harness.extensions import (
     run_precision_schedule,
 )
 from repro.harness.runner import SimulationSession
+from repro.lint.cli import configure_lint_parser, run_lint
 from repro.models.zoo import MODEL_ZOO
 
 EXPERIMENTS = {
@@ -149,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON document to DIR/profile.json",
     )
+    configure_lint_parser(sub)
     runner = sub.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", help="experiment id, or 'all'")
     runner.add_argument(
@@ -228,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "lint":
+        return run_lint(args)
     if args.command == "profile":
         from repro.harness.profiling import profile_pipeline, render_profile
 

@@ -25,7 +25,6 @@ from repro.core.workload import PhaseWorkload
 from repro.encoding.booth import term_count
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.fp.accumulator import AccumulatorSpec
-from repro.fp.bfloat16 import bf16_quantize
 from repro.memory.dram import DRAMModel
 from repro.memory.traffic import TRANSPOSERS_PER_TILE, phase_traffic
 

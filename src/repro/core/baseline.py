@@ -14,8 +14,6 @@ which FPRaker must reproduce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.core.accelerator import LayerPhaseResult, WorkloadResult
 from repro.core.config import AcceleratorConfig, baseline_paper_config
 from repro.core.stats import LaneLedger, SimCounters, TermLedger

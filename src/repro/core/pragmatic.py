@@ -17,9 +17,7 @@ factors its wide datapath implies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.accelerator import AcceleratorSimulator, LayerPhaseResult
+from repro.core.accelerator import AcceleratorSimulator
 from repro.core.config import AcceleratorConfig, pragmatic_paper_config
 from repro.core.stats import SimCounters
 from repro.core.workload import PhaseWorkload

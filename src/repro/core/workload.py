@@ -15,7 +15,7 @@ either tensor; the choice is made per layer and phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.analysis.exponents import exponent_histogram, exponent_range_covered
+from repro.analysis.exponents import exponent_range_covered
 from repro.analysis.potential import model_potential_speedups
 from repro.analysis.sparsity import model_sparsity_report
 from repro.compression.base_delta import (
@@ -36,7 +36,7 @@ from repro.core.config import (
 from repro.energy.model import AreaModel, EnergyModel, TABLE3
 from repro.memory.dram import DRAMModel
 from repro.memory.traffic import TRANSPOSERS_PER_TILE, workload_traffic
-from repro.models.zoo import MODEL_ZOO, STUDIED_MODELS, get_model
+from repro.models.zoo import STUDIED_MODELS, get_model
 from repro.nn.data import synthetic_images
 from repro.nn.fpmath import EngineConfig, MatmulEngine
 from repro.nn.optim import SGD

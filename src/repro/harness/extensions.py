@@ -14,12 +14,10 @@ The conclusion sketches two directions this module implements:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.config import baseline_paper_config
 from repro.harness.report import Table, geomean
 from repro.harness.runner import SimRequest, SimulationSession
-from repro.models.zoo import STUDIED_MODELS, get_model
+from repro.models.zoo import get_model
 
 
 def run_precision_schedule(

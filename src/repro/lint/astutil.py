@@ -1,0 +1,191 @@
+"""Shared ``ast`` helpers for the rule set.
+
+Nothing here is repo-specific; rules compose these primitives into the
+actual contract checks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The ``a.b.c`` form of a Name/Attribute chain, or None.
+
+    Args:
+        node: candidate expression node.
+
+    Returns:
+        The dotted path when the node is a pure attribute chain rooted
+        at a plain name, else None (calls, subscripts, literals ...).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute (``x.y.knob`` -> ``knob``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ImportMap:
+    """Local-name -> fully-qualified-path table built from imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from numpy.random
+    import default_rng`` maps ``default_rng`` to
+    ``numpy.random.default_rng``.  Relative imports keep their leading
+    dots, so they never collide with the absolute stdlib/numpy paths the
+    determinism rule matches against.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.table: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.table[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.table[local] = f"{prefix}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified path of an attribute chain, or None.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        chains rooted at non-imported names (locals, ``self``) resolve
+        to None.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        if root not in self.table:
+            return None
+        resolved = self.table[root]
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+def str_const(node: ast.AST) -> str | None:
+    """The value of a string-literal node, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def str_sequence(node: ast.AST) -> tuple[str, ...] | None:
+    """The values of an all-string tuple/list/set literal, or None."""
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    values = [str_const(el) for el in node.elts]
+    if any(v is None for v in values):
+        return None
+    return tuple(v for v in values if v is not None)
+
+
+def class_string_constants(classdef: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """Class-body assignments of string tuples (``FIELDS = (...)``)."""
+    constants: dict[str, tuple[str, ...]] = {}
+    for stmt in classdef.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            values = str_sequence(stmt.value)
+            if isinstance(target, ast.Name) and values is not None:
+                constants[target.id] = values
+    return constants
+
+
+def is_dataclass(classdef: ast.ClassDef) -> bool:
+    """Whether a class carries a ``@dataclass`` decorator."""
+    for deco in classdef.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if terminal_name(target) == "dataclass":
+            return True
+    return False
+
+
+def dataclass_fields(classdef: ast.ClassDef) -> list[str]:
+    """Public field names of a dataclass body (annotated assignments).
+
+    ``ClassVar`` annotations and leading-underscore names are excluded:
+    neither is part of the serialized surface.
+    """
+    fields: list[str] = []
+    for stmt in classdef.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append(name)
+    return fields
+
+
+def methods_of(classdef: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """Directly-defined methods of a class body, by name."""
+    return {
+        stmt.name: stmt
+        for stmt in classdef.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def param_names(func: ast.FunctionDef) -> list[str]:
+    """All named parameters of a function (positional and keyword)."""
+    args = func.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+
+
+def resolved_comp_keys(
+    comp: ast.DictComp, classdef: ast.ClassDef, classname_aliases: set[str]
+) -> tuple[str, ...] | None:
+    """Keys of a ``{name: ... for name in self.FIELDS}`` comprehension.
+
+    Resolves the iterated class constant from the class body so rules
+    can treat the pattern as if the keys were written out literally.
+
+    Args:
+        comp: the dict comprehension.
+        classdef: the enclosing class.
+        classname_aliases: names the class is reachable under inside
+            its own methods (``self``, ``cls``, the class name).
+
+    Returns:
+        The key tuple, or None when the pattern does not match.
+    """
+    if len(comp.generators) != 1:
+        return None
+    gen = comp.generators[0]
+    if not isinstance(gen.target, ast.Name):
+        return None
+    if not isinstance(comp.key, ast.Name) or comp.key.id != gen.target.id:
+        return None
+    it = gen.iter
+    if not isinstance(it, ast.Attribute):
+        return None
+    root = it.value
+    if not (isinstance(root, ast.Name) and root.id in classname_aliases):
+        return None
+    return class_string_constants(classdef).get(it.attr)

@@ -1,0 +1,122 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow the convention of the rest of the CLI (and of most
+linters): 0 for a clean tree, 1 when findings survive, 2 for usage
+errors (unknown rule codes, nonexistent paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.registry import REGISTRY, resolve_codes
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import lint_paths
+
+
+def configure_lint_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``lint`` subcommand to the main parser's subparsers.
+
+    Args:
+        sub: the ``repro`` parser's subparsers action.
+    """
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the reproducibility contracts (RPR rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to check (default: src/repro)",
+    )
+    lint.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="run only these rule codes (e.g. RPR001 RPR003)",
+    )
+    lint.add_argument(
+        "--ignore",
+        nargs="+",
+        default=None,
+        metavar="CODE",
+        help="skip these rule codes",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format printed to stdout",
+    )
+    lint.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _list_rules() -> str:
+    """The rule catalog, one line per registered rule."""
+    import repro.lint.rules  # noqa: F401  (populate the registry)
+
+    lines = []
+    for code in sorted(REGISTRY):
+        rule = REGISTRY[code]
+        lines.append(f"{code}  {rule.name}: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` for parsed arguments.
+
+    Args:
+        args: the parsed ``lint`` subcommand namespace.
+
+    Returns:
+        Process exit code (0 clean / 1 findings / 2 usage error).
+    """
+    import repro.lint.rules  # noqa: F401  (populate the registry)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select, unknown_s = resolve_codes(args.select, REGISTRY)
+    ignore, unknown_i = resolve_codes(args.ignore, REGISTRY)
+    unknown = unknown_s + unknown_i
+    if unknown:
+        print(
+            "unknown rule code(s): "
+            + ", ".join(repr(c) for c in unknown)
+            + "\nknown codes: "
+            + ", ".join(sorted(REGISTRY)),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = lint_paths(args.paths, select=select, ignore=ignore)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        out = Path(args.out)
+        if out.exists() and out.is_dir():
+            print(f"--out {args.out!r} is a directory", file=sys.stderr)
+            return 2
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_json(report) + "\n")
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    return 1 if report.findings else 0

@@ -1,0 +1,43 @@
+"""The finding record every lint rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Reserved pseudo-code for files the checker itself could not process
+# (syntax errors, crashed rules).  Not a registered rule: it cannot be
+# suppressed away with ``--select`` games, only ``--ignore RPR000``.
+INTERNAL_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        code: rule identifier (``RPR001`` ...).
+        message: human-readable description of the violation.
+        path: file the finding is in (posix-style string).
+        line: 1-based source line.
+        col: 0-based column.
+    """
+
+    code: str
+    message: str
+    path: str = ""
+    line: int = 1
+    col: int = 0
+
+    def sort_key(self) -> tuple:
+        """Deterministic report ordering: path, position, code."""
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the JSON reporter's row schema)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }

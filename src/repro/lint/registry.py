@@ -1,0 +1,96 @@
+"""The rule plugin registry.
+
+Rules are classes: one instance per lint run, ``check`` called once per
+file.  Registration happens at import time via the :func:`register`
+decorator, so making a rule available is just importing its module from
+:mod:`repro.lint.rules` -- the same pattern pytest plugins or flake8
+extensions use, scaled down to a single repository.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Type
+
+from repro.lint.findings import Finding
+
+CODE_RE = re.compile(r"^RPR\d{3}$")
+
+# code -> rule class, populated by @register at import time.
+REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        code: unique ``RPRxxx`` identifier.
+        name: short kebab-case rule name (shown in ``--list-rules``).
+        rationale: one-paragraph justification (the rule catalog in
+            ``docs/LINTING.md`` is generated from the docstrings, so
+            keep this the source of truth).
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, ctx) -> Iterator[Finding]:
+        """Yield findings for one file.
+
+        Args:
+            ctx: the :class:`repro.lint.runner.FileContext` under check.
+        """
+        raise NotImplementedError
+
+    def finding(self, message: str, node=None, line=1, col=0) -> Finding:
+        """Build a finding of this rule, anchored at a node if given."""
+        if node is not None:
+            line = getattr(node, "lineno", line)
+            col = getattr(node, "col_offset", col)
+        return Finding(code=self.code, message=message, line=line, col=col)
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry.
+
+    Raises:
+        ValueError: on a malformed or duplicate rule code.
+    """
+    if not CODE_RE.match(cls.code or ""):
+        raise ValueError(f"rule code {cls.code!r} does not match RPRxxx")
+    if cls.code in REGISTRY and REGISTRY[cls.code] is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def resolve_codes(
+    tokens: Iterable[str] | None, known: Iterable[str]
+) -> tuple[frozenset[str], list[str]]:
+    """Normalize a ``--select``/``--ignore`` code list.
+
+    Args:
+        tokens: raw argument values (each may hold comma-separated
+            codes); None means "no restriction".
+        known: registered rule codes.
+
+    Returns:
+        ``(codes, unknown)`` -- the resolved code set (empty when
+        ``tokens`` is None) and any tokens that match no known rule.
+    """
+    if tokens is None:
+        return frozenset(), []
+    known_set = set(known)
+    codes: set[str] = set()
+    unknown: list[str] = []
+    for token in tokens:
+        for piece in filter(None, re.split(r"[,\s]+", token)):
+            code = piece.upper()
+            if code in known_set:
+                codes.add(code)
+            else:
+                unknown.append(piece)
+    return frozenset(codes), unknown

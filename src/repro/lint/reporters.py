@@ -1,0 +1,46 @@
+"""Text and JSON renderings of a lint report.
+
+Both renderings are deterministic functions of the report: findings are
+already sorted by the runner, and the JSON document is dumped with
+sorted keys -- the lint gate's own artifact honors the artifact-
+stability contract it enforces (RPR005).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.runner import LintReport
+
+REPORT_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings, one line each, plus a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.code} {f.message}"
+        for f in report.findings
+    ]
+    if report.findings:
+        counts = ", ".join(
+            f"{code}: {n}" for code, n in sorted(report.counts_by_code.items())
+        )
+        lines.append(
+            f"Found {len(report.findings)} finding"
+            f"{'s' if len(report.findings) != 1 else ''} "
+            f"in {report.files_checked} files ({counts})."
+        )
+    else:
+        lines.append(f"Checked {report.files_checked} files: clean.")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI findings artifact)."""
+    document = {
+        "version": REPORT_VERSION,
+        "files_checked": report.files_checked,
+        "counts_by_code": report.counts_by_code,
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,15 @@
+"""The repo-specific rule set.
+
+Importing this package registers every rule: each module calls
+:func:`repro.lint.registry.register` at import time.  New rules join
+the checker by being imported here -- nothing else to wire.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    artifacts,
+    cache_key,
+    determinism,
+    dispatch,
+    docstrings,
+    serialization,
+)

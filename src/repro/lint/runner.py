@@ -1,0 +1,198 @@
+"""File collection and rule execution.
+
+The runner is deliberately boring: gather ``.py`` files, parse each
+once, hand the shared :class:`FileContext` to every selected rule, and
+filter the findings through the file's ``# repro: noqa`` directives.
+A file that does not parse (or a rule that crashes on it) yields an
+``RPR000`` internal finding instead of aborting the run -- the lint
+gate must never be softer than the tree it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import INTERNAL_CODE, Finding
+from repro.lint.registry import REGISTRY
+from repro.lint.suppressions import Suppressions, parse_suppressions
+
+# Directories never worth descending into.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about one file.
+
+    Attributes:
+        path: the file's path as given on the command line.
+        source: file text.
+        tree: parsed module.
+        suppressions: parsed ``# repro: noqa`` directives.
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def posix_parts(self) -> tuple[str, ...]:
+        """Resolved path components (for package-scoped rules)."""
+        return self.path.resolve().parts
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: surviving (unsuppressed, selected) findings, sorted.
+        files_checked: number of files processed.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts_by_code(self) -> dict[str, int]:
+        """Finding counts per rule code."""
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Iterable[str | os.PathLike]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated file list.
+
+    Args:
+        paths: files or directories to lint.
+
+    Returns:
+        Every ``.py`` file under the given paths, each exactly once.
+
+    Raises:
+        FileNotFoundError: when a given path does not exist.
+    """
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (SKIP_DIRS & set(p.parts))
+            )
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def _check_file(path: Path, codes: frozenset[str]) -> list[Finding]:
+    """All findings of one file under the selected rule codes."""
+    # Ensure the rule modules have populated the registry.
+    import repro.lint.rules  # noqa: F401  (import-for-side-effect)
+
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                code=INTERNAL_CODE,
+                message=f"cannot read file: {exc}",
+                path=path.as_posix(),
+            )
+        ]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code=INTERNAL_CODE,
+                message=f"file does not parse: {exc.msg}",
+                path=path.as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+    findings: list[Finding] = []
+    for code in sorted(codes):
+        rule = REGISTRY[code]()
+        try:
+            produced = list(rule.check(ctx))
+        except Exception as exc:  # pragma: no cover - defensive
+            findings.append(
+                Finding(
+                    code=INTERNAL_CODE,
+                    message=f"rule {code} crashed: {exc!r}",
+                    path=path.as_posix(),
+                )
+            )
+            continue
+        for f in produced:
+            if ctx.suppressions.is_suppressed(f.code, f.line):
+                continue
+            findings.append(
+                Finding(
+                    code=f.code,
+                    message=f.message,
+                    path=path.as_posix(),
+                    line=f.line,
+                    col=f.col,
+                )
+            )
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[str | os.PathLike],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint files/directories and return the sorted report.
+
+    Args:
+        paths: files or directories to check.
+        select: restrict to these rule codes (None or empty = all).
+        ignore: drop these rule codes after selection.
+
+    Returns:
+        The :class:`LintReport` with findings in deterministic order.
+    """
+    import repro.lint.rules  # noqa: F401  (populate the registry)
+
+    select = frozenset(select or ())
+    ignore = frozenset(ignore or ())
+    codes = frozenset(REGISTRY)
+    if select:
+        codes &= select
+    if ignore:
+        codes -= ignore
+    report = LintReport()
+    for path in iter_python_files(paths):
+        produced = _check_file(path, codes)
+        if ignore:
+            produced = [f for f in produced if f.code not in ignore]
+        report.findings.extend(produced)
+        report.files_checked += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report

@@ -1,0 +1,93 @@
+"""``# repro: noqa`` suppression comments.
+
+Two scopes, distinguished by comment placement:
+
+* a **trailing** comment suppresses findings on its own line::
+
+      value = np.random.default_rng()  # repro: noqa RPR001 -- fixture
+
+* a **standalone** comment line (nothing but whitespace before the
+  ``#``) suppresses the named codes for the whole file::
+
+      # repro: noqa RPR005 -- report order is pinned by the golden test
+
+Codes are ``RPRxxx`` identifiers separated by commas or spaces; a bare
+``# repro: noqa`` (no codes) suppresses every rule in its scope.  Text
+after ``--`` is a free-form reason and is encouraged: the linter exists
+to make intent auditable, not to be silenced.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)", re.IGNORECASE)
+CODE_RE = re.compile(r"RPR\d{3}")
+
+# Sentinel meaning "every code" (a bare noqa with no code list).
+ALL_CODES = "*"
+
+
+def _codes_of(rest: str) -> frozenset[str]:
+    """Parse the code list of one noqa comment tail."""
+    rest = rest.split("--", 1)[0]
+    codes = frozenset(CODE_RE.findall(rest))
+    return codes if codes else frozenset((ALL_CODES,))
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from comments.
+
+    Attributes:
+        file_codes: codes suppressed for the whole file.
+        line_codes: codes suppressed per source line (1-based).
+    """
+
+    file_codes: frozenset[str] = frozenset()
+    line_codes: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a finding of ``code`` at ``line`` is silenced."""
+        for scope in (self.file_codes, self.line_codes.get(line, frozenset())):
+            if ALL_CODES in scope or code in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``# repro: noqa`` directive from a source text.
+
+    Args:
+        source: the file's text.
+
+    Returns:
+        The parsed :class:`Suppressions` (empty on tokenization errors;
+        a file that does not tokenize has bigger problems, which the
+        runner reports separately).
+    """
+    file_codes: set[str] = set()
+    line_codes: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        codes = _codes_of(match.group("rest"))
+        row, col = tok.start
+        standalone = not tok.line[:col].strip()
+        if standalone:
+            file_codes.update(codes)
+        else:
+            line_codes[row] = line_codes.get(row, frozenset()) | codes
+    return Suppressions(
+        file_codes=frozenset(file_codes), line_codes=line_codes
+    )

@@ -8,7 +8,7 @@ global buffer an odd bank count).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

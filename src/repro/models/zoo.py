@@ -15,7 +15,7 @@ the off-chip traffic model in :mod:`repro.traces.workloads`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

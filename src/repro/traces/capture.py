@@ -10,7 +10,7 @@ exponent histograms of Fig 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

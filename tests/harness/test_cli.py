@@ -67,7 +67,7 @@ class TestCli:
         args = ["run", "fig13", "--models", "NCF", "--cache", str(cache)]
         assert main(args + ["--jobs", "2"]) == 0
         cold = capsys.readouterr().out
-        assert list(cache.glob("*.json"))  # results persisted
+        assert sorted(cache.glob("*.json"))  # results persisted
         assert main(args) == 0  # warm, serial: same artifact
         assert capsys.readouterr().out == cold
 

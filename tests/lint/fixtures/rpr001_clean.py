@@ -1,0 +1,15 @@
+"""RPR001 fixture: the blessed seeded-generator patterns."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(seed: int):
+    """Explicitly seeded generators and a monotonic timer are fine."""
+    rng = np.random.default_rng(seed)
+    paired = np.random.default_rng((seed, 17))
+    stdlib = random.Random(seed)
+    t0 = time.perf_counter()
+    return rng.normal(), paired.normal(), stdlib.random(), t0

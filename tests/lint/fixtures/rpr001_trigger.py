@@ -1,0 +1,15 @@
+"""RPR001 fixture: every banned randomness/clock pattern."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    """Unseeded and wall-clock calls the determinism rule must flag."""
+    stamp = time.time()
+    legacy = np.random.rand(4)
+    entropy = np.random.default_rng()
+    stdlib = random.random()
+    return stamp, legacy, entropy, stdlib

@@ -1,0 +1,25 @@
+"""RPR002 fixture: canonical key missing result-affecting inputs."""
+
+import json
+
+
+class SimRequest:
+    """Miniature request with a field the key below forgets."""
+
+    model: str
+    seed: int
+    nodes: int
+
+
+def canonical_key(request, sample_strips):
+    """Key builder that drops ``nodes`` and its own ``sample_strips``."""
+    spec = {
+        "model": request.model,
+        "seed": request.seed,
+    }
+    return json.dumps(spec)
+
+
+def execute_request(request, sample_strips, memory_engine="roofline"):
+    """Simulator entry whose ``memory_engine`` the key above ignores."""
+    return (request, sample_strips, memory_engine)

@@ -1,0 +1,59 @@
+"""RPR003 fixture: byte-stable round trips, literal and FIELDS-driven."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LiteralCounters:
+    """Field-for-field literal dict round trip."""
+
+    cycles: float
+    macs: float
+
+    def to_dict(self) -> dict:
+        """Emit every field."""
+        return {"cycles": self.cycles, "macs": self.macs}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LiteralCounters":
+        """Consume every field."""
+        return cls(cycles=float(data["cycles"]), macs=float(data["macs"]))
+
+
+@dataclass
+class FieldsDriven:
+    """The repo's ``for name in self.FIELDS`` comprehension idiom."""
+
+    payload_bytes: float = 0.0
+    wire_bytes: float = 0.0
+
+    FIELDS = ("payload_bytes", "wire_bytes")
+
+    def to_dict(self) -> dict:
+        """Emit via the class constant."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FieldsDriven":
+        """Consume via the class constant."""
+        return cls(**{name: float(data[name]) for name in cls.FIELDS})
+
+
+@dataclass
+class OptionalKey:
+    """A conditionally-emitted key is still parity-checked."""
+
+    cycles: float
+    memory: dict | None = None
+
+    def to_dict(self) -> dict:
+        """Emit ``memory`` only when present (cache-stability idiom)."""
+        data = {"cycles": self.cycles}
+        if self.memory is not None:
+            data["memory"] = self.memory
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OptionalKey":
+        """Consume the optional key with ``.get``."""
+        return cls(cycles=float(data["cycles"]), memory=data.get("memory"))

@@ -1,0 +1,25 @@
+"""RPR003 fixture: lossy and asymmetric serialization pairs."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LossyCounters:
+    """Drops a field on the way out and renames one on the way back."""
+
+    cycles: float
+    macs: float
+    groups: float
+
+    def to_dict(self) -> dict:
+        """Forgets ``groups`` entirely."""
+        return {"cycles": self.cycles, "macs": self.macs}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LossyCounters":
+        """Consumes a key (``mac_count``) that to_dict never emits."""
+        return cls(
+            cycles=float(data["cycles"]),
+            macs=float(data["mac_count"]),
+            groups=0.0,
+        )

@@ -1,0 +1,16 @@
+"""RPR005 fixture: the same shapes, order-stabilized or order-free."""
+
+import os
+
+
+def render(rows):
+    """sorted() wrapping and order-independent consumers are fine."""
+    names = {row[0] for row in rows}
+    lines = [name for name in sorted(names)]
+    ordered = sorted(set(lines))
+    count = len({row[1] for row in rows})  # order-independent
+    present = "key" in {row[0] for row in rows}  # membership only
+    for entry in sorted(os.listdir(".")):
+        lines.append(entry)
+    total = sum({1, 2, 3})  # order-independent reduction
+    return lines, ordered, count, present, total

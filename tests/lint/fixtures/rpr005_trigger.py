@@ -1,0 +1,14 @@
+"""RPR005 fixture: hash-order and OS-order leaks into output."""
+
+import os
+
+
+def render(rows):
+    """Every unstable-order pattern the rule flags."""
+    lines = [name for name in {row[0] for row in rows}]  # set-order leak
+    for name in {"b", "a"}:  # set literal iteration
+        lines.append(name)
+    ordered = list(set(lines))  # list(set(...)) dedupe leak
+    for entry in os.listdir("."):  # OS-dependent listing order
+        lines.append(entry)
+    return lines, ordered

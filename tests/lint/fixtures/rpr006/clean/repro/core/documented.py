@@ -1,0 +1,26 @@
+"""Fully documented module: RPR006 must stay quiet here."""
+
+CONSTANT = 1
+
+
+class Accumulator:
+    """A documented public class."""
+
+    def __init__(self):
+        pass
+
+    def add(self, value):
+        """A documented public method."""
+        return value + CONSTANT
+
+    def _internal(self, value):
+        return value
+
+
+def top_level(value):
+    """A documented public function."""
+    return value
+
+
+def _private(value):
+    return value

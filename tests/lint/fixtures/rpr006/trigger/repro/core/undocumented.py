@@ -1,0 +1,11 @@
+CONSTANT = 1
+
+
+class Accumulator:
+
+    def add(self, value):
+        return value + CONSTANT
+
+
+def top_level(value):
+    return value

@@ -1,0 +1,139 @@
+"""End-to-end tests for the ``repro lint`` subcommand: exit codes,
+selection flags, suppressions, and the JSON reporter."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TRIGGER = str(FIXTURES / "rpr001_trigger.py")
+CLEAN = str(FIXTURES / "rpr001_clean.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, capsys):
+        assert main(["lint", CLEAN]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, capsys):
+        assert main(["lint", TRIGGER]) == 1
+        assert "RPR001" in capsys.readouterr().out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "no/such/path.py" in capsys.readouterr().err
+
+    def test_unknown_select_code_exits_2(self, capsys):
+        assert main(["lint", CLEAN, "--select", "RPR999"]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_unknown_ignore_code_exits_2(self, capsys):
+        assert main(["lint", CLEAN, "--ignore", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_limits_to_one_rule(self, capsys):
+        assert main(["lint", TRIGGER, "--select", "RPR005"]) == 0
+
+    def test_ignore_masks_the_only_firing_rule(self, capsys):
+        assert main(["lint", TRIGGER, "--ignore", "RPR001"]) == 0
+
+    def test_comma_separated_codes(self, capsys):
+        assert main(["lint", TRIGGER, "--select", "RPR001,RPR005"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                     "RPR006"):
+            assert code in out
+
+
+class TestSuppressions:
+    def _write(self, tmp_path, body):
+        path = tmp_path / "mod.py"
+        path.write_text(body)
+        return str(path)
+
+    def test_trailing_noqa_suppresses_that_line(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '"""Doc."""\n'
+            "import numpy as np\n"
+            "a = np.random.rand(3)  # repro: noqa RPR001 -- fixture\n"
+            "b = np.random.rand(3)\n",
+        )
+        assert main(["lint", path, "--select", "RPR001"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("RPR001") == 2  # one finding + summary count
+        assert ":4:" in out and ":3:" not in out
+
+    def test_file_level_noqa_suppresses_everywhere(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '"""Doc."""\n'
+            "# repro: noqa RPR001 -- whole-file fixture\n"
+            "import numpy as np\n"
+            "a = np.random.rand(3)\n"
+            "b = np.random.rand(3)\n",
+        )
+        assert main(["lint", path, "--select", "RPR001"]) == 0
+
+    def test_bare_noqa_suppresses_all_codes_on_line(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '"""Doc."""\n'
+            "import numpy as np\n"
+            "a = np.random.rand(3)  # repro: noqa\n",
+        )
+        assert main(["lint", path]) == 0
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            '"""Doc."""\n'
+            "import numpy as np\n"
+            "a = np.random.rand(3)  # repro: noqa RPR005\n",
+        )
+        assert main(["lint", path, "--select", "RPR001"]) == 1
+
+
+class TestJsonReporter:
+    def test_json_format_parses_and_counts(self, capsys):
+        assert main(["lint", TRIGGER, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["counts_by_code"] == {"RPR001": 4}
+        assert len(payload["findings"]) == 4
+        first = payload["findings"][0]
+        assert set(first) == {"code", "message", "path", "line", "col"}
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.json"
+        assert main(["lint", TRIGGER, "--out", str(out_file)]) == 1
+        payload = json.loads(out_file.read_text())
+        assert payload["counts_by_code"] == {"RPR001": 4}
+        # text still goes to stdout for the human
+        assert "RPR001" in capsys.readouterr().out
+
+    def test_out_to_directory_exits_2(self, tmp_path, capsys):
+        assert main(["lint", CLEAN, "--out", str(tmp_path)]) == 2
+
+    def test_json_clean_report(self, capsys):
+        assert main(["lint", CLEAN, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["counts_by_code"] == {}
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_internal_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def oops(:\n")
+        assert main(["lint", str(path)]) == 1
+        assert "RPR000" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Unit tests for the lint framework itself: suppression parsing, the
+rule registry, code resolution, and file discovery."""
+
+import pytest
+
+from repro.lint import REGISTRY, Finding, Rule, lint_paths, register
+from repro.lint.registry import resolve_codes
+from repro.lint.runner import iter_python_files
+from repro.lint.suppressions import parse_suppressions
+
+
+class TestSuppressionParsing:
+    def test_trailing_comment_is_line_scoped(self):
+        src = "x = 1  # repro: noqa RPR001\n"
+        sup = parse_suppressions(src)
+        assert sup.line_codes.get(1) == {"RPR001"}
+        assert not sup.file_codes
+
+    def test_standalone_comment_is_file_scoped(self):
+        src = "# repro: noqa RPR002\nx = 1\n"
+        sup = parse_suppressions(src)
+        assert sup.file_codes == {"RPR002"}
+
+    def test_bare_noqa_suppresses_everything(self):
+        sup = parse_suppressions("x = 1  # repro: noqa\n")
+        assert sup.is_suppressed("RPR001", 1)
+        assert sup.is_suppressed("RPR006", 1)
+        assert not sup.is_suppressed("RPR001", 2)
+
+    def test_multiple_codes_and_reason_tail(self):
+        src = "x = 1  # repro: noqa RPR001, RPR005 -- legacy shim\n"
+        sup = parse_suppressions(src)
+        assert sup.line_codes[1] == {"RPR001", "RPR005"}
+
+    def test_case_insensitive_marker(self):
+        sup = parse_suppressions("x = 1  # REPRO: NOQA RPR001\n")
+        assert sup.is_suppressed("RPR001", 1)
+
+    def test_plain_comment_is_not_a_suppression(self):
+        sup = parse_suppressions("x = 1  # regular comment\n")
+        assert not sup.line_codes
+        assert not sup.file_codes
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert sorted(REGISTRY) == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+        ]
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe(Rule):
+            code = "RPR001"
+            name = "dupe"
+            rationale = "x"
+
+        with pytest.raises(ValueError):
+            register(Dupe)
+
+    def test_malformed_code_rejected(self):
+        class Bad(Rule):
+            code = "XYZ1"
+            name = "bad"
+            rationale = "x"
+
+        with pytest.raises(ValueError):
+            register(Bad)
+
+    def test_resolve_codes_splits_commas_and_spaces(self):
+        codes, unknown = resolve_codes(
+            ["RPR001,RPR002", "RPR003"], set(REGISTRY)
+        )
+        assert codes == {"RPR001", "RPR002", "RPR003"}
+        assert unknown == []
+
+    def test_resolve_codes_reports_unknown(self):
+        codes, unknown = resolve_codes(["RPR001", "RPR999"], set(REGISTRY))
+        assert codes == {"RPR001"}
+        assert unknown == ["RPR999"]
+
+
+class TestFileDiscovery:
+    def test_overlapping_paths_deduplicate(self, tmp_path):
+        (tmp_path / "a.py").write_text('"""Doc."""\n')
+        files = iter_python_files([tmp_path, tmp_path / "a.py"])
+        assert files == [tmp_path / "a.py"]
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text('"""Doc."""\n')
+        files = iter_python_files([tmp_path])
+        assert files == [tmp_path / "real.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "ghost.py"])
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello\n")
+        (tmp_path / "mod.py").write_text('"""Doc."""\n')
+        files = iter_python_files([tmp_path])
+        assert files == [tmp_path / "mod.py"]
+
+
+class TestFindingOrdering:
+    def test_report_is_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("import numpy as np\n"
+                                       "x = np.random.rand(2)\n")
+        (tmp_path / "a.py").write_text("import numpy as np\n"
+                                       "y = np.random.rand(2)\n")
+        first = lint_paths([tmp_path], select=["RPR001"])
+        second = lint_paths([tmp_path], select=["RPR001"])
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        paths = [f.path for f in first.findings]
+        assert paths == sorted(paths)
+
+    def test_finding_to_dict_shape(self):
+        finding = Finding(
+            code="RPR001", message="m", path="p.py", line=3, col=0
+        )
+        assert finding.to_dict() == {
+            "code": "RPR001",
+            "message": "m",
+            "path": "p.py",
+            "line": 3,
+            "col": 0,
+        }

@@ -133,7 +133,7 @@ class TestDiskCache:
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         writer = WorkloadCache(disk_dir=tmp_path)
         build_workloads("NCF", cache=writer)
-        for path in tmp_path.glob("workload-*.npz"):
+        for path in sorted(tmp_path.glob("workload-*.npz")):
             path.write_bytes(b"not an npz")
         reader = WorkloadCache(disk_dir=tmp_path)
         rebuilt = build_workloads("NCF", cache=reader)
