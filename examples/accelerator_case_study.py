@@ -1,8 +1,8 @@
 """Simulate a full training step of one model on the FPRaker accelerator.
 
-Builds the calibrated workload of a Table-I model, runs the iso-area
-FPRaker (36 tiles) and bit-parallel baseline (8 tiles) simulators, and
-reports per-phase speedups, the lane-cycle breakdown, skipped-term
+Simulates a Table-I model on the iso-area FPRaker (36 tiles) and the
+bit-parallel baseline (8 tiles) through the :mod:`repro.api` facade,
+and reports per-phase speedups, the lane-cycle breakdown, skipped-term
 composition, and the energy split -- Figs 11-15 of the paper for a
 single model.
 
@@ -11,19 +11,21 @@ Run:  python examples/accelerator_case_study.py [model]
 
 import sys
 
-from repro.core.accelerator import AcceleratorSimulator
-from repro.core.baseline import BaselineAccelerator
+import repro.api as api
+from repro.core.config import baseline_paper_config
 from repro.models.zoo import STUDIED_MODELS
-from repro.traces.workloads import build_workloads
 
 
 def main(model: str = "ResNet18-Q") -> None:
     if model not in STUDIED_MODELS:
         raise SystemExit(f"unknown model {model!r}; choose from {STUDIED_MODELS}")
     print(f"Simulating one training step of {model} (progress 50%)...\n")
-    workloads = build_workloads(model, progress=0.5)
-    fpraker = AcceleratorSimulator().simulate_workload(workloads)
-    baseline = BaselineAccelerator().simulate_workload(workloads)
+    # One session, so both runs share the generated workload tensors.
+    session = api.session()
+    fpraker = api.simulate(model, progress=0.5, session=session)
+    baseline = api.simulate(
+        model, baseline_paper_config(), progress=0.5, session=session
+    )
 
     print(f"{'phase':6s} {'FPRaker cycles':>16s} {'baseline cycles':>16s} {'speedup':>8s}")
     for phase in ("AxW", "GxW", "AxG"):

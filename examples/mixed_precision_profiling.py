@@ -9,11 +9,10 @@ change, just more terms that provably cannot affect the result.
 Run:  python examples/mixed_precision_profiling.py
 """
 
-from repro.core.accelerator import AcceleratorSimulator
-from repro.core.baseline import BaselineAccelerator
+import repro.api as api
+from repro.core.config import baseline_paper_config
 from repro.models.zoo import get_model
 from repro.nn.sakr import sakr_accumulator_profile
-from repro.traces.workloads import build_workloads
 
 
 def main(model: str = "ResNet18") -> None:
@@ -32,11 +31,13 @@ def main(model: str = "ResNet18") -> None:
             f"{profile[layer.name]:10d}"
         )
 
-    baseline = BaselineAccelerator().simulate_workload(build_workloads(model))
-    fixed = AcceleratorSimulator().simulate_workload(build_workloads(model))
-    profiled = AcceleratorSimulator().simulate_workload(
-        build_workloads(model, acc_profile=profile)
+    # One session, so the three runs share workload tensors and cache.
+    session = api.session()
+    baseline = api.simulate(
+        model, baseline_paper_config(), session=session
     )
+    fixed = api.simulate(model, session=session)
+    profiled = api.simulate(model, acc_profile=profile, session=session)
 
     print("\nSpeedup over the bit-parallel baseline (paper Fig 21):")
     print(f"{'config':14s} {'AxW':>6s} {'GxW':>6s} {'AxG':>6s} {'total':>7s}")

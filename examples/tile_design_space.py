@@ -10,22 +10,25 @@ Run:  python examples/tile_design_space.py
 
 from dataclasses import replace
 
-from repro.core.accelerator import AcceleratorSimulator
-from repro.core.baseline import BaselineAccelerator
-from repro.core.config import fpraker_paper_config
-from repro.traces.workloads import build_workloads
+import repro.api as api
+from repro.core.config import baseline_paper_config, fpraker_paper_config
 
 MODEL = "VGG16"
 
+# One session for the whole sweep: every point shares the generated
+# workload tensors, and repeated configurations hit the memo.
+SESSION = api.session()
 
-def _speedup(config, workloads, baseline) -> float:
-    result = AcceleratorSimulator(config).simulate_workload(workloads)
+
+def _speedup(config, baseline) -> float:
+    result = api.simulate(MODEL, config, progress=0.5, session=SESSION)
     return result.speedup_vs(baseline)
 
 
 def main() -> None:
-    workloads = build_workloads(MODEL, progress=0.5)
-    baseline = BaselineAccelerator().simulate_workload(workloads)
+    baseline = api.simulate(
+        MODEL, baseline_paper_config(), progress=0.5, session=SESSION
+    )
     default = fpraker_paper_config()
     print(f"Design-space ablations on {MODEL} (speedup vs baseline)\n")
 
@@ -34,20 +37,20 @@ def main() -> None:
         pe = replace(default.tile.pe, shift_window=window)
         config = replace(default, tile=replace(default.tile, pe=pe))
         marker = "  <- paper" if window == 3 else ""
-        print(f"  window {window:2d}: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+        print(f"  window {window:2d}: {_speedup(config, baseline):5.2f}x{marker}")
 
     print("\nExponent-block sharing (paper: 2 PEs per block):")
     for sharing in (1, 2, 4):
         pe = replace(default.tile.pe, exponent_sharing=sharing)
         config = replace(default, tile=replace(default.tile, pe=pe))
         marker = "  <- paper" if sharing == 2 else ""
-        print(f"  {sharing} PE/block: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+        print(f"  {sharing} PE/block: {_speedup(config, baseline):5.2f}x{marker}")
 
     print("\nPer-PE B-buffer depth (cross-column run-ahead):")
     for depth in (1, 2, 4, 8):
         config = replace(default, tile=replace(default.tile, buffer_depth=depth))
         marker = "  <- default" if depth == default.tile.buffer_depth else ""
-        print(f"  depth {depth}: {_speedup(config, workloads, baseline):5.2f}x{marker}")
+        print(f"  depth {depth}: {_speedup(config, baseline):5.2f}x{marker}")
 
     print("\nRows per tile at constant total PEs (paper Fig 19):")
     for rows in (2, 4, 8, 16):
@@ -58,7 +61,7 @@ def main() -> None:
         marker = "  <- paper" if rows == 8 else ""
         print(
             f"  {rows:2d} rows x {tiles:2d} tiles: "
-            f"{_speedup(config, workloads, baseline):5.2f}x{marker}"
+            f"{_speedup(config, baseline):5.2f}x{marker}"
         )
 
     print("\nOut-of-bounds skipping and compression (paper Fig 11):")
@@ -73,7 +76,7 @@ def main() -> None:
             tile=replace(default.tile, pe=pe),
             base_delta_compression=bdc,
         )
-        print(f"  {label}: {_speedup(config, workloads, baseline):5.2f}x")
+        print(f"  {label}: {_speedup(config, baseline):5.2f}x")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,187 @@
+"""End-to-end smoke of the `repro serve` daemon (the CI service job).
+
+Starts a real daemon process, issues one `/simulate`, a cold `/sweep`
+over the Fig 11 models, then repeats the sweep and asserts the second
+pass is answered almost entirely (>= 90%) from the shared store with
+zero new simulations.  Finishes with `/stats` and writes the whole
+transcript as JSON for the CI artifact upload.
+
+Usage::
+
+    python scripts/service_smoke.py --out service-smoke.json
+    python scripts/service_smoke.py --models NCF SNLI   # quicker run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def _free_port() -> int:
+    """A TCP port the daemon can bind."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _start_daemon(store: Path, port: int, jobs: int) -> subprocess.Popen:
+    """Launch `repro serve` and wait for its listening line."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store),
+            "--port", str(port),
+            "--jobs", str(jobs),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            return process
+        if process.poll() is not None:
+            raise SystemExit(
+                f"daemon exited with {process.returncode} before listening"
+            )
+    process.kill()
+    raise SystemExit("daemon did not start listening within 60s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke; exit non-zero on any broken invariant."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        help="models to sweep (default: the full Fig 11 set)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--out",
+        default="service-smoke.json",
+        help="JSON transcript path (default: service-smoke.json)",
+    )
+    args = parser.parse_args(argv)
+
+    import repro.api as api
+    from repro.models.zoo import STUDIED_MODELS
+
+    models = list(args.models or STUDIED_MODELS)
+    transcript: dict = {"models": models, "jobs": args.jobs, "checks": []}
+
+    def check(name: str, ok: bool, detail) -> None:
+        transcript["checks"].append(
+            {"name": name, "ok": bool(ok), "detail": detail}
+        )
+        print(f"{'PASS' if ok else 'FAIL'}  {name}: {detail}", flush=True)
+        if not ok:
+            _finish(transcript, args.out)
+            raise SystemExit(1)
+
+    def _finish(transcript: dict, out: str) -> None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(transcript, indent=2) + "\n")
+
+    port = _free_port()
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        process = _start_daemon(Path(tmp) / "store", port, args.jobs)
+        try:
+            client = api.connect(f"http://127.0.0.1:{port}")
+            check("healthz", client.healthy(), "daemon answers health check")
+
+            status, result = client.submit(models[0])
+            check(
+                "simulate-cold",
+                status == "miss" and result is not None,
+                f"first /simulate of {models[0]} is a {status}",
+            )
+            status, _ = client.submit(models[0])
+            check(
+                "simulate-warm",
+                status == "hit",
+                f"second /simulate of {models[0]} is a {status}",
+            )
+
+            started = time.monotonic()
+            cold = client.sweep(models)
+            cold_seconds = round(time.monotonic() - started, 3)
+            transcript["cold_sweep"] = {
+                "stats": cold.stats, "seconds": cold_seconds,
+            }
+            check(
+                "sweep-cold",
+                all(r is not None for r in cold.results),
+                f"{len(models)} models in {cold_seconds}s "
+                f"(stats: {cold.stats})",
+            )
+
+            simulations_before = client.stats()["stats"]["simulations"]
+            started = time.monotonic()
+            warm = client.sweep(models)
+            warm_seconds = round(time.monotonic() - started, 3)
+            simulations_after = client.stats()["stats"]["simulations"]
+            transcript["warm_sweep"] = {
+                "stats": warm.stats,
+                "seconds": warm_seconds,
+                "hit_fraction": warm.hit_fraction,
+                "new_simulations": simulations_after - simulations_before,
+            }
+            check(
+                "sweep-warm-hits",
+                warm.hit_fraction >= 0.9,
+                f"hit fraction {warm.hit_fraction:.2f} (>= 0.90 required)",
+            )
+            check(
+                "sweep-warm-no-new-simulations",
+                simulations_after == simulations_before,
+                f"{simulations_after - simulations_before} new simulations",
+            )
+            for index, model in enumerate(models):
+                if json.dumps(warm.results[index].to_dict()) != json.dumps(
+                    cold.results[index].to_dict()
+                ):
+                    check(
+                        "sweep-warm-bytes",
+                        False,
+                        f"{model} warm result differs from cold",
+                    )
+            check(
+                "sweep-warm-bytes",
+                True,
+                "warm results byte-identical to cold",
+            )
+
+            stats = client.stats()
+            transcript["stats"] = stats
+            check(
+                "stats",
+                stats["store"]["entries"] == len(models)
+                and stats["store"]["stale_entries"] == 0,
+                f"store holds {stats['store']['entries']} entries",
+            )
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    _finish(transcript, args.out)
+    print(f"transcript written to {args.out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

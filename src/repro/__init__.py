@@ -7,7 +7,14 @@ simulators, the memory and compression substrate, a training framework
 with emulated-FPRaker arithmetic, and a harness regenerating every table
 and figure of the paper's evaluation.
 
-Typical entry points::
+Typical entry points -- the stable public surface is :mod:`repro.api`::
+
+    import repro.api as api
+
+    result = api.simulate("NCF")              # one cached simulation
+    client = api.connect("http://host:8177")  # a repro serve daemon
+
+lower layers stay importable for research use::
 
     from repro.core import FPRakerPE, AcceleratorSimulator
     from repro.nn import MatmulEngine, EngineConfig
@@ -16,10 +23,25 @@ Typical entry points::
 or from the shell::
 
     python -m repro run fig11
+    python -m repro serve --cache .repro-store
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the :mod:`repro.api` facade.
+
+    Keeps ``import repro`` light (no numpy import) while letting
+    ``repro.api`` resolve without a separate import statement.
+    """
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -11,6 +11,7 @@ Usage::
     python -m repro run memory_profile             # traffic-engine profile
     python -m repro run fig15 --memory-engine hierarchy
     python -m repro lint src/repro                 # static contract checks
+    python -m repro serve --cache .repro-cache     # simulation daemon
 
 ``lint`` runs the :mod:`repro.lint` static checker (the RPR rule set:
 determinism, cache-key completeness, serialization parity, dispatch
@@ -25,6 +26,12 @@ exactly once; ``--jobs`` fans cache misses out over worker processes and
 ``--memory-engine hierarchy`` prices off-chip traffic with the
 event-level memory hierarchy (container bursts, bank conflicts,
 transposer occupancy) instead of the flat roofline.
+
+``serve`` runs the same simulation machinery as a long-lived HTTP
+daemon over a shared sqlite result store (see ``docs/SERVICE.md``); it
+takes the same ``--jobs/--cache/--workload-cache/--memory-engine``
+session flags as ``run`` -- a ``--cache`` directory warmed by prior
+``repro run`` invocations is migrated into the store on startup.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from repro.harness.extensions import (
     run_inference_extension,
     run_precision_schedule,
 )
-from repro.harness.runner import SimulationSession
+from repro.harness.runner import SessionConfig, SimulationSession
 from repro.lint.cli import configure_lint_parser, run_lint
 from repro.models.zoo import MODEL_ZOO
 
@@ -120,6 +127,47 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _session_flags() -> argparse.ArgumentParser:
+    """Parent parser of the session flags ``run`` and ``serve`` share.
+
+    One definition keeps the two subcommands' ``--jobs``, ``--cache``,
+    ``--workload-cache`` and ``--memory-engine`` flags identical in
+    name, type, default and help text.
+
+    Returns:
+        An ``add_help=False`` parser for use via ``parents=[...]``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulations (default: 1)",
+    )
+    parent.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist simulation results under DIR (warm reruns; "
+        "`serve` migrates DIR's entries into its shared store)",
+    )
+    parent.add_argument(
+        "--workload-cache",
+        metavar="DIR",
+        default=None,
+        help="persist generated workload tensors under DIR (defaults "
+        "to CACHE/workloads when --cache is set; in-memory reuse is "
+        "always on)",
+    )
+    parent.add_argument(
+        "--memory-engine",
+        choices=("roofline", "hierarchy"),
+        default="roofline",
+        help="memory model for FPRaker simulations (default: roofline)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full ``repro`` argument parser.
 
@@ -157,19 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON document to DIR/profile.json",
     )
     configure_lint_parser(sub)
-    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    session_flags = _session_flags()
+    runner = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all')",
+        parents=[session_flags],
+    )
     runner.add_argument("experiment", help="experiment id, or 'all'")
     runner.add_argument(
         "--models",
         nargs="+",
         default=None,
         help="restrict model-sweep experiments to these Table-I models",
-    )
-    runner.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for independent simulations (default: 1)",
     )
     runner.add_argument(
         "--format",
@@ -182,26 +229,6 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also write each artifact to DIR/<experiment>.{txt,json}",
-    )
-    runner.add_argument(
-        "--cache",
-        metavar="DIR",
-        default=None,
-        help="persist simulation results under DIR (warm reruns)",
-    )
-    runner.add_argument(
-        "--workload-cache",
-        metavar="DIR",
-        default=None,
-        help="persist generated workload tensors under DIR (defaults "
-        "to CACHE/workloads when --cache is set; in-memory reuse is "
-        "always on)",
-    )
-    runner.add_argument(
-        "--memory-engine",
-        choices=("roofline", "hierarchy"),
-        default="roofline",
-        help="memory model for FPRaker simulations (default: roofline)",
     )
     runner.add_argument(
         "--nodes",
@@ -218,7 +245,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scale-out partition scheme (default: data)",
     )
+    server = sub.add_parser(
+        "serve",
+        help="run the simulation daemon over a shared result store",
+        parents=[session_flags],
+    )
+    server.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    server.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="TCP port to listen on (default: 8177)",
+    )
+    server.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="result-store location: a directory or a .sqlite file "
+        "(default: --cache when given, else .repro-store)",
+    )
     return parser
+
+
+def _serve(args) -> int:
+    """The ``repro serve`` handler: open the store, run the daemon.
+
+    The daemon shares ``run``'s session flags; a ``--cache`` directory
+    warmed by prior CLI runs is migrated into the store before serving.
+
+    Args:
+        args: parsed ``serve`` arguments.
+
+    Returns:
+        Process exit code.
+    """
+    from repro.service.daemon import run_daemon
+    from repro.service.store import ResultStore, StoreError
+
+    store_path = args.store or args.cache or ".repro-store"
+    config = SessionConfig(
+        jobs=args.jobs,
+        memory_engine=args.memory_engine,
+        workload_cache=(
+            args.workload_cache if args.workload_cache is not None else True
+        ),
+    )
+    try:
+        store = ResultStore(store_path)
+    except StoreError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    if args.cache is not None:
+        imported = store.import_legacy(args.cache)
+        if imported:
+            print(
+                f"repro serve: imported {imported} entries from "
+                f"{args.cache}",
+                flush=True,
+            )
+    try:
+        return run_daemon(config, store, host=args.host, port=args.port)
+    finally:
+        store.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -238,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "profile":
         from repro.harness.profiling import profile_pipeline, render_profile
 
@@ -286,12 +380,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{flag} {value!r} is not a directory", file=sys.stderr)
             return 2
     session = SimulationSession(
-        jobs=args.jobs,
-        cache_dir=args.cache,
-        memory_engine=args.memory_engine,
-        workload_cache=(
-            args.workload_cache if args.workload_cache is not None else True
-        ),
+        config=SessionConfig(
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            memory_engine=args.memory_engine,
+            workload_cache=(
+                args.workload_cache if args.workload_cache is not None else True
+            ),
+        )
     )
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:

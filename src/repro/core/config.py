@@ -24,7 +24,8 @@ area, so 36 FPRaker tiles fit in the area of 8 baseline tiles
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Mapping
 
 from repro.fp.accumulator import AccumulatorSpec
 
@@ -131,6 +132,97 @@ class AcceleratorConfig:
     def peak_macs_per_cycle(self) -> int:
         """MAC issue slots per cycle across the accelerator."""
         return self.total_pes * self.tile.pe.lanes
+
+
+def _config_from_mapping(
+    cls: type,
+    data: Any,
+    path: str,
+    nested: Mapping[str, Callable[[Any, str], Any]],
+) -> Any:
+    """Rebuild one (frozen) config dataclass from its ``asdict`` form.
+
+    Args:
+        cls: the dataclass to construct.
+        data: the mapping to read fields from.
+        path: dotted location for error messages (``"config.tile.pe"``).
+        nested: per-field builders for sub-dataclass values.
+
+    Returns:
+        The constructed instance; omitted fields keep their defaults.
+
+    Raises:
+        ValueError: on a non-mapping value, an unknown field name, or a
+            field value the dataclass rejects -- every message names the
+            dotted path so wire-level callers can act on it.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{path} must be an object of {cls.__name__} fields, "
+            f"got {type(data).__name__}"
+        )
+    names = [f.name for f in fields(cls)]
+    unknown = sorted(set(data) - set(names))
+    if unknown:
+        raise ValueError(
+            f"{path} has unknown field(s) {', '.join(map(repr, unknown))}; "
+            f"known fields: {', '.join(names)}"
+        )
+    kwargs = {}
+    for name in names:
+        if name not in data:
+            continue
+        value = data[name]
+        builder = nested.get(name)
+        kwargs[name] = (
+            builder(value, f"{path}.{name}") if builder is not None else value
+        )
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path} is not a valid {cls.__name__}: {exc}")
+
+
+def _accumulator_from_dict(data: Any, path: str) -> AccumulatorSpec:
+    """AccumulatorSpec from its ``asdict`` form (see ``_config_from_mapping``)."""
+    return _config_from_mapping(AccumulatorSpec, data, path, {})
+
+
+def _pe_from_dict(data: Any, path: str) -> PEConfig:
+    """PEConfig from its ``asdict`` form (see ``_config_from_mapping``)."""
+    return _config_from_mapping(
+        PEConfig, data, path, {"accumulator": _accumulator_from_dict}
+    )
+
+
+def _tile_from_dict(data: Any, path: str) -> TileConfig:
+    """TileConfig from its ``asdict`` form (see ``_config_from_mapping``)."""
+    return _config_from_mapping(TileConfig, data, path, {"pe": _pe_from_dict})
+
+
+def accelerator_config_from_dict(data: Any) -> AcceleratorConfig:
+    """Reconstruct an :class:`AcceleratorConfig` from its ``asdict`` form.
+
+    The inverse of ``dataclasses.asdict`` over the nested config tree
+    (accelerator -> tile -> PE -> accumulator), used by the wire format
+    to accept explicit configurations over HTTP.  Round trip is exact:
+    ``accelerator_config_from_dict(asdict(config)) == config`` for every
+    constructible config, so canonical cache keys (which serialize the
+    ``asdict`` tree) are preserved across the wire.
+
+    Args:
+        data: mapping as produced by ``dataclasses.asdict(config)``;
+            omitted fields keep their dataclass defaults.
+
+    Returns:
+        The reconstructed configuration.
+
+    Raises:
+        ValueError: naming the dotted field path on any malformed input.
+    """
+    return _config_from_mapping(
+        AcceleratorConfig, data, "config", {"tile": _tile_from_dict}
+    )
 
 
 def fpraker_paper_config(**overrides) -> AcceleratorConfig:

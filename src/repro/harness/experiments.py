@@ -43,7 +43,7 @@ from repro.nn.optim import SGD
 from repro.nn.sakr import sakr_accumulator_profile
 from repro.nn.training import Trainer
 from repro.harness.report import Table, geomean
-from repro.harness.runner import SimRequest, SimulationSession
+from repro.harness.runner import SessionConfig, SimRequest, SimulationSession
 from repro.traces.calibration import get_calibration
 from repro.traces.capture import capture_training_traces
 from repro.traces.synthetic import generate_tensor
@@ -92,7 +92,9 @@ def _session_for(
         when the session runs multiple jobs).
     """
     if session is None:
-        session = SimulationSession(memory_engine=memory_engine)
+        session = SimulationSession(
+            config=SessionConfig(memory_engine=memory_engine)
+        )
     points = progress if isinstance(progress, tuple) else (progress,)
     sweep = list(configs) + ([baseline_paper_config()] if with_baseline else [])
     session.prefetch(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -32,6 +33,7 @@ from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
 from repro.core.baseline import BaselineAccelerator
 from repro.core.config import (
     AcceleratorConfig,
+    accelerator_config_from_dict,
     baseline_paper_config,
     fpraker_paper_config,
     pragmatic_paper_config,
@@ -39,6 +41,24 @@ from repro.core.config import (
 from repro.core.pragmatic import PragmaticFPAccelerator
 from repro.harness.cache import ResultCache
 from repro.traces.workloads import build_workloads
+
+# Version of SimRequest's public wire form (``to_dict``/``from_dict``).
+# Bump on any incompatible change to the field set or field semantics;
+# the service layer rejects mismatched payloads with an actionable
+# error instead of misreading them.
+WIRE_SCHEMA_VERSION = 1
+
+# Training phases a request may name, in canonical order.
+_KNOWN_PHASES = ("AxW", "GxW", "AxG")
+
+
+class WireFormatError(ValueError):
+    """A wire-format payload failed validation.
+
+    Raised by :meth:`SimRequest.from_dict` (and the service layer built
+    on it) with messages that name the offending field and the expected
+    shape -- HTTP clients see these verbatim, so keep them actionable.
+    """
 
 
 @dataclass(frozen=True)
@@ -100,6 +120,155 @@ class SimRequest:
     def resolved_config(self) -> AcceleratorConfig:
         """The effective configuration (None -> paper FPRaker)."""
         return self.config if self.config is not None else fpraker_paper_config()
+
+    # -- public wire format ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """This request as its versioned public wire form.
+
+        The inverse of :meth:`from_dict`; the dict is JSON-ready and
+        carries a ``schema`` tag (:data:`WIRE_SCHEMA_VERSION`) so future
+        incompatible revisions are detected instead of misread.
+
+        Returns:
+            A JSON-serializable dict of every request field.
+        """
+        return {
+            "schema": WIRE_SCHEMA_VERSION,
+            "model": self.model,
+            "config": asdict(self.config) if self.config is not None else None,
+            "progress": self.progress,
+            "seed": self.seed,
+            "acc_profile": (
+                [list(pair) for pair in self.acc_profile]
+                if self.acc_profile is not None
+                else None
+            ),
+            "phases": (
+                list(self.phases) if self.phases is not None else None
+            ),
+            "nodes": self.nodes,
+            "partition": self.partition,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SimRequest":
+        """Validate and build a request from its wire form.
+
+        Every field is checked individually; a malformed payload raises
+        :class:`WireFormatError` naming the field and the expected shape
+        (never a bare ``KeyError``), so HTTP clients get errors they can
+        act on.  Only ``model`` is required -- omitted fields take the
+        dataclass defaults, and a missing ``schema`` tag is accepted as
+        the current version.
+
+        Args:
+            data: a mapping as produced by :meth:`to_dict`.
+
+        Returns:
+            The validated :class:`SimRequest`.
+
+        Raises:
+            WireFormatError: on any malformed field, unknown field name,
+                or wire-schema version mismatch.
+        """
+        if not isinstance(data, dict):
+            raise WireFormatError(
+                "request must be a JSON object of SimRequest fields, "
+                f"got {type(data).__name__}"
+            )
+        schema = data.get("schema", WIRE_SCHEMA_VERSION)
+        if schema != WIRE_SCHEMA_VERSION:
+            raise WireFormatError(
+                f"unsupported wire schema {schema!r}; this build speaks "
+                f"schema {WIRE_SCHEMA_VERSION}"
+            )
+        known = (
+            "schema", "model", "config", "progress", "seed",
+            "acc_profile", "phases", "nodes", "partition",
+        )
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise WireFormatError(
+                f"unknown request field(s) {', '.join(map(repr, unknown))}; "
+                f"known fields: {', '.join(known)}"
+            )
+        model = data.get("model")
+        if not isinstance(model, str) or not model:
+            raise WireFormatError(
+                "field 'model' is required and must be a non-empty "
+                "Table-I model name string"
+            )
+        config = data.get("config")
+        if config is not None:
+            try:
+                config = accelerator_config_from_dict(config)
+            except ValueError as exc:
+                raise WireFormatError(f"field 'config' is invalid: {exc}")
+        progress = data.get("progress", 0.5)
+        if (
+            isinstance(progress, bool)
+            or not isinstance(progress, (int, float))
+            or not 0.0 <= float(progress) <= 1.0
+        ):
+            raise WireFormatError(
+                "field 'progress' must be a number in [0, 1], "
+                f"got {progress!r}"
+            )
+        seed = data.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise WireFormatError(
+                f"field 'seed' must be an integer, got {seed!r}"
+            )
+        acc_profile = data.get("acc_profile")
+        profile_dict: dict[str, int] | None = None
+        if acc_profile is not None:
+            if not isinstance(acc_profile, (list, tuple)) or not all(
+                isinstance(pair, (list, tuple))
+                and len(pair) == 2
+                and isinstance(pair[0], str)
+                and isinstance(pair[1], int)
+                and not isinstance(pair[1], bool)
+                for pair in acc_profile
+            ):
+                raise WireFormatError(
+                    "field 'acc_profile' must be null or a list of "
+                    "[layer_name, frac_bits] pairs, got "
+                    f"{acc_profile!r}"
+                )
+            profile_dict = dict(acc_profile)
+        phases = data.get("phases")
+        if phases is not None:
+            if not isinstance(phases, (list, tuple)) or not phases or not all(
+                isinstance(phase, str) and phase in _KNOWN_PHASES
+                for phase in phases
+            ):
+                raise WireFormatError(
+                    "field 'phases' must be null or a non-empty list "
+                    f"drawn from {list(_KNOWN_PHASES)}, got {phases!r}"
+                )
+            phases = tuple(phases)
+        nodes = data.get("nodes", 1)
+        if isinstance(nodes, bool) or not isinstance(nodes, int) or nodes < 1:
+            raise WireFormatError(
+                f"field 'nodes' must be an integer >= 1, got {nodes!r}"
+            )
+        partition = data.get("partition", "data")
+        if partition not in ("data", "model", "pipeline"):
+            raise WireFormatError(
+                "field 'partition' must be one of 'data', 'model', "
+                f"'pipeline', got {partition!r}"
+            )
+        return cls.make(
+            model=model,
+            config=config,
+            progress=float(progress),
+            seed=seed,
+            acc_profile=profile_dict,
+            phases=phases,
+            nodes=nodes,
+            partition=partition,
+        )
 
 
 def canonical_key(
@@ -214,6 +383,144 @@ def execute_request(
     return simulator.simulate_workload(workloads)
 
 
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every knob of a :class:`SimulationSession`, as one frozen value.
+
+    The stable public form of the session's former seven loose keyword
+    arguments: validated on construction, hashable, and shared verbatim
+    by the in-process API (:mod:`repro.api`), the CLI, and the
+    ``repro serve`` daemon -- one configuration object for every front
+    end.
+
+    Attributes:
+        jobs: worker processes for prefetch fan-out (values below 1 are
+            clamped to serial, matching the legacy constructor).
+        cache_dir: directory for on-disk result persistence (None
+            disables it).
+        sample_strips: operand strips sampled per layer-phase.
+        sample_steps: reduction groups per strip.
+        sim_seed: operand-sampling RNG seed.
+        memory_engine: ``"roofline"`` or ``"hierarchy"``.
+        workload_cache: workload-reuse policy -- ``True`` (shared,
+            persisted under ``cache_dir/workloads`` when ``cache_dir``
+            is set), ``False`` (rebuild per simulation), or a disk
+            directory.
+    """
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    sample_strips: int = 8
+    sample_steps: int = 32
+    sim_seed: int = 1234
+    memory_engine: str = "roofline"
+    workload_cache: bool | str = True
+
+    def __post_init__(self) -> None:
+        """Validate and normalize every field (frozen-safe)."""
+        object.__setattr__(self, "jobs", max(1, int(self.jobs)))
+        for name in ("sample_strips", "sample_steps"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"{name} must be an integer, got {value!r}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if isinstance(self.sim_seed, bool) or not isinstance(
+            self.sim_seed, int
+        ):
+            raise ValueError(
+                f"sim_seed must be an integer, got {self.sim_seed!r}"
+            )
+        if self.memory_engine not in ("roofline", "hierarchy"):
+            raise ValueError(f"unknown memory engine {self.memory_engine!r}")
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
+        if not isinstance(self.workload_cache, bool):
+            object.__setattr__(
+                self, "workload_cache", os.fspath(self.workload_cache)
+            )
+
+    @property
+    def workload_cache_spec(self) -> str | None:
+        """Workload-cache spec forwarded to workers (None = cold builds)."""
+        if self.workload_cache is False:
+            return None
+        if self.workload_cache is True:
+            return (
+                str(Path(self.cache_dir) / "workloads")
+                if self.cache_dir is not None
+                else "default"
+            )
+        return str(self.workload_cache)
+
+    def to_dict(self) -> dict:
+        """This configuration as its versioned public wire form."""
+        return {
+            "schema": WIRE_SCHEMA_VERSION,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "sample_strips": self.sample_strips,
+            "sample_steps": self.sample_steps,
+            "sim_seed": self.sim_seed,
+            "memory_engine": self.memory_engine,
+            "workload_cache": self.workload_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SessionConfig":
+        """Validate and build a configuration from its wire form.
+
+        Args:
+            data: a mapping as produced by :meth:`to_dict`; omitted
+                fields take the defaults.
+
+        Returns:
+            The validated :class:`SessionConfig`.
+
+        Raises:
+            WireFormatError: on a non-mapping payload, unknown field, or
+                schema mismatch; ``ValueError`` surfaces field-level
+                validation failures from ``__post_init__``.
+        """
+        if not isinstance(data, dict):
+            raise WireFormatError(
+                "session config must be a JSON object of SessionConfig "
+                f"fields, got {type(data).__name__}"
+            )
+        schema = data.get("schema", WIRE_SCHEMA_VERSION)
+        if schema != WIRE_SCHEMA_VERSION:
+            raise WireFormatError(
+                f"unsupported wire schema {schema!r}; this build speaks "
+                f"schema {WIRE_SCHEMA_VERSION}"
+            )
+        known = (
+            "schema", "jobs", "cache_dir", "sample_strips", "sample_steps",
+            "sim_seed", "memory_engine", "workload_cache",
+        )
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise WireFormatError(
+                f"unknown config field(s) {', '.join(map(repr, unknown))}; "
+                f"known fields: {', '.join(known)}"
+            )
+        values = {
+            "jobs": data.get("jobs"),
+            "cache_dir": data.get("cache_dir"),
+            "sample_strips": data.get("sample_strips"),
+            "sample_steps": data.get("sample_steps"),
+            "sim_seed": data.get("sim_seed"),
+            "memory_engine": data.get("memory_engine"),
+            "workload_cache": data.get("workload_cache"),
+        }
+        kwargs = {}
+        for name, value in values.items():
+            # None never survives validation for any field, so absent
+            # and null both mean "use the default".
+            if value is not None:
+                kwargs[name] = value
+        return cls(**kwargs)
+
+
 @dataclass
 class SessionStats:
     """Work accounting of one session.
@@ -234,58 +541,88 @@ class SessionStats:
 class SimulationSession:
     """Memoizing, optionally parallel front end to all simulators.
 
+    The primary constructor takes one :class:`SessionConfig`::
+
+        session = SimulationSession(config=SessionConfig(jobs=4))
+
+    The original seven loose keyword arguments (``jobs``, ``cache_dir``,
+    ``sample_strips``, ``sample_steps``, ``sim_seed``,
+    ``memory_engine``, ``workload_cache`` -- see the matching
+    :class:`SessionConfig` fields for their semantics) still construct
+    a session, but emit a :class:`DeprecationWarning`; new code should
+    build a :class:`SessionConfig` (or call :func:`repro.api.session`).
+
     Args:
-        jobs: worker processes for :meth:`prefetch` fan-out (1 = serial).
-        cache_dir: directory for on-disk result persistence (None
-            disables it).
-        sample_strips: operand strips per layer-phase (default 8 -- the
-            batched strip engine makes strips cheap; tests pass less for
-            speed).
-        sample_steps: reduction groups per strip (default 32).
-        sim_seed: operand-sampling RNG seed (default 1234).
-        memory_engine: memory model every FPRaker-style simulation in
-            the session runs under -- ``"roofline"`` (default) or the
-            event-level ``"hierarchy"`` engine.  Part of the canonical
-            key, so both engines' results can share one disk cache.
-        workload_cache: workload-reuse policy.  ``True`` (default)
-            shares each model's built workload across every
-            configuration of the session (and, when ``cache_dir`` is
-            set, persists the tensors under ``cache_dir/workloads`` so
-            worker processes and later invocations skip regeneration);
-            a directory uses that disk location; ``False`` rebuilds
-            workloads per simulation.  Caching never changes results --
-            hits are byte-identical to cold builds -- so it is *not*
-            part of the canonical simulation key.
+        config: the session configuration (None with no legacy keywords
+            = all defaults).
+        jobs: deprecated -- use ``config``.
+        cache_dir: deprecated -- use ``config``.
+        sample_strips: deprecated -- use ``config``.
+        sample_steps: deprecated -- use ``config``.
+        sim_seed: deprecated -- use ``config``.
+        memory_engine: deprecated -- use ``config``.
+        workload_cache: deprecated -- use ``config``.
     """
 
     def __init__(
         self,
-        jobs: int = 1,
+        config: SessionConfig | None = None,
         cache_dir: str | os.PathLike | None = None,
-        sample_strips: int = 8,
-        sample_steps: int = 32,
-        sim_seed: int = 1234,
-        memory_engine: str = "roofline",
-        workload_cache: bool | str | os.PathLike = True,
+        sample_strips: int | None = None,
+        sample_steps: int | None = None,
+        sim_seed: int | None = None,
+        memory_engine: str | None = None,
+        workload_cache: bool | str | os.PathLike | None = None,
+        jobs: int | None = None,
     ) -> None:
-        if memory_engine not in ("roofline", "hierarchy"):
-            raise ValueError(f"unknown memory engine {memory_engine!r}")
-        self.jobs = max(1, int(jobs))
-        self.sample_strips = sample_strips
-        self.sample_steps = sample_steps
-        self.sim_seed = sim_seed
-        self.memory_engine = memory_engine
-        if workload_cache is False:
-            self.workload_cache_spec = None
-        elif workload_cache is True:
-            self.workload_cache_spec = (
-                str(Path(cache_dir) / "workloads")
-                if cache_dir is not None
-                else "default"
+        legacy = {
+            name: value
+            for name, value in (
+                ("jobs", jobs),
+                ("cache_dir", cache_dir),
+                ("sample_strips", sample_strips),
+                ("sample_steps", sample_steps),
+                ("sim_seed", sim_seed),
+                ("memory_engine", memory_engine),
+                ("workload_cache", workload_cache),
             )
-        else:
-            self.workload_cache_spec = str(workload_cache)
-        self.disk = ResultCache(cache_dir) if cache_dir is not None else None
+            if value is not None
+        }
+        if config is not None and not isinstance(config, SessionConfig):
+            # Positional legacy form: the first parameter used to be
+            # `jobs`.  Shift it into the legacy keyword set.
+            legacy.setdefault("jobs", config)
+            config = None
+        if config is not None and legacy:
+            raise TypeError(
+                "pass either config=SessionConfig(...) or the legacy "
+                "keyword arguments, not both: got config= and "
+                + ", ".join(sorted(legacy))
+            )
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "SimulationSession's loose keyword arguments "
+                    f"({', '.join(sorted(legacy))}) are deprecated; "
+                    "construct with "
+                    "SimulationSession(config=SessionConfig(...)) or "
+                    "repro.api.session(...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = SessionConfig(**legacy)
+        self.config = config
+        self.jobs = config.jobs
+        self.sample_strips = config.sample_strips
+        self.sample_steps = config.sample_steps
+        self.sim_seed = config.sim_seed
+        self.memory_engine = config.memory_engine
+        self.workload_cache_spec = config.workload_cache_spec
+        self.disk = (
+            ResultCache(config.cache_dir)
+            if config.cache_dir is not None
+            else None
+        )
         self.stats = SessionStats()
         self._memo: dict[str, WorkloadResult] = {}
 
@@ -384,6 +721,20 @@ class SimulationSession:
             nodes=nodes,
             partition=partition,
         )
+        return self._get(request)
+
+    def resolve(self, request: SimRequest) -> WorkloadResult:
+        """Simulate (or fetch) one fully-specified request.
+
+        The request-level entry point :func:`repro.api.sweep` and the
+        service layer share with the keyword helpers above.
+
+        Args:
+            request: the simulation to resolve.
+
+        Returns:
+            The (possibly cached) result.
+        """
         return self._get(request)
 
     # -- execution ---------------------------------------------------------

@@ -11,5 +11,6 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     dispatch,
     docstrings,
+    facade,
     serialization,
 )

@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: daemon, shared result store, and client.
+
+The service layer is the repo's "millions of users" path: every request
+after the first for a given canonical simulation key is a store hit.
+It is one layer above the in-process API -- the daemon normalizes wire
+requests through the exact canonical-key machinery
+:class:`repro.harness.runner.SimulationSession` uses, so the HTTP
+surface and the Python surface (:mod:`repro.api`) answer every request
+from the same shared store with byte-identical results.
+
+Modules:
+
+* :mod:`repro.service.store` -- sqlite-backed shared result store
+  (generalizes the per-file JSON :class:`repro.harness.cache.ResultCache`),
+  ``CACHE_VERSION``-aware eviction, legacy-cache importer.
+* :mod:`repro.service.wire` -- versioned JSON wire schema shared by the
+  daemon and the client (envelopes, result encoding, error shapes).
+* :mod:`repro.service.daemon` -- the asyncio HTTP daemon behind
+  ``repro serve``: request dedup, in-flight coalescing, worker-pool
+  fan-out, ``hit|miss|pending`` provenance.
+* :mod:`repro.service.client` -- stdlib HTTP client
+  (:func:`repro.api.connect` returns one).
+"""
+
+from repro.service.client import ServiceClient, connect
+from repro.service.store import ResultStore
+
+__all__ = [
+    "ResultStore",
+    "ServiceClient",
+    "connect",
+]

@@ -1,0 +1,254 @@
+"""Stdlib HTTP client for a ``repro serve`` daemon.
+
+The client mirrors the in-process API one-for-one: the arguments of
+:meth:`ServiceClient.simulate` are the arguments of
+:func:`repro.api.simulate`, requests travel as the same
+:class:`repro.harness.runner.SimRequest` wire form, and results come
+back through the same ``from_dict`` deserialization the result caches
+use -- so a service answer is byte-identical to a local run under the
+daemon's :class:`repro.harness.runner.SessionConfig`.
+
+Connect with :func:`repro.api.connect`::
+
+    client = repro.api.connect("http://127.0.0.1:8177")
+    result = client.simulate("NCF")
+    batch = client.sweep([{"model": m} for m in ("NCF", "SNLI")])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.core.config import AcceleratorConfig
+from repro.harness.runner import SimRequest
+from repro.service import wire
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or could not be reached).
+
+    Attributes:
+        status: HTTP status code (0 when the connection itself failed).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class SweepOutcome:
+    """One ``/sweep`` call's decoded answer.
+
+    Attributes:
+        results: per-entry results, envelope order (None for pending).
+        statuses: per-entry ``hit|miss|pending`` provenance.
+        stats: the daemon's batch tally (hit/miss/pending counts).
+    """
+
+    results: list = field(default_factory=list)
+    statuses: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of entries answered from the shared store."""
+        if not self.statuses:
+            return 0.0
+        return self.statuses.count("hit") / len(self.statuses)
+
+
+def _as_request(entry) -> SimRequest:
+    """Coerce a SimRequest / wire dict / model name into a request."""
+    if isinstance(entry, SimRequest):
+        return entry
+    if isinstance(entry, str):
+        return SimRequest.make(entry)
+    return SimRequest.from_dict(entry)
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one daemon.
+
+    Args:
+        base_url: the daemon's root URL (``http://host:port``).
+        timeout: per-request socket timeout in seconds (cold
+            simulations answer only after the simulation finishes, so
+            keep this generous).
+
+    Raises:
+        ServiceError: on a malformed or non-HTTP URL.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if not base_url.startswith("http://") or not parsed.hostname:
+            raise ServiceError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One HTTP round trip; raises :class:`ServiceError` on failure."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, payload, headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"cannot reach daemon at http://{self.host}:{self.port}: "
+                f"{exc}"
+            )
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"daemon sent a non-JSON response (HTTP {status})",
+                status=status,
+            )
+        if status >= 400 or not isinstance(data, dict):
+            message = (
+                data.get("error", f"HTTP {status}")
+                if isinstance(data, dict)
+                else f"HTTP {status}"
+            )
+            raise ServiceError(message, status=status)
+        return data
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """Whether the daemon answers ``/healthz``."""
+        try:
+            return bool(self._call("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def stats(self) -> dict:
+        """The daemon's ``/stats`` body (session, store, versions)."""
+        return self._call("GET", "/stats")
+
+    def submit(self, request, wait: bool = True) -> tuple[str, object]:
+        """Low-level ``/simulate``: provenance plus (optional) result.
+
+        Args:
+            request: a :class:`SimRequest`, its wire-form dict, or a
+                bare model name.
+            wait: False returns ``("pending", None)`` while the daemon
+                computes.
+
+        Returns:
+            ``(status, result)`` where status is ``hit|miss|pending``.
+        """
+        body = {
+            "schema": wire.ENVELOPE_SCHEMA,
+            "request": _as_request(request).to_dict(),
+            "wait": wait,
+        }
+        answer = self._call("POST", "/simulate", body)
+        if answer.get("status") == "pending":
+            return "pending", None
+        return (
+            answer.get("status", "hit"),
+            wire.decode_result(answer.get("kind"), answer.get("result")),
+        )
+
+    def simulate(
+        self,
+        model: str,
+        config: AcceleratorConfig | None = None,
+        progress: float = 0.5,
+        seed: int = 0,
+        acc_profile: dict[str, int] | None = None,
+        phases: tuple[str, ...] | None = None,
+        nodes: int = 1,
+        partition: str = "data",
+    ):
+        """Simulate (or fetch) one model -- the remote twin of
+        :func:`repro.api.simulate`.
+
+        Args:
+            model: Table-I model name.
+            config: accelerator config (None = paper FPRaker).
+            progress: training progress in [0, 1].
+            seed: workload RNG seed.
+            acc_profile: optional per-layer accumulator widths.
+            phases: training phases to include (None = all three).
+            nodes: scale-out node count (1 = single node).
+            partition: scale-out partition scheme.
+
+        Returns:
+            The deserialized result (blocks until available).
+        """
+        request = SimRequest.make(
+            model, config, progress, seed, acc_profile, phases,
+            nodes=nodes, partition=partition,
+        )
+        _, result = self.submit(request, wait=True)
+        return result
+
+    def sweep(self, requests, wait: bool = True) -> SweepOutcome:
+        """Batch many requests into one ``/sweep`` call.
+
+        Args:
+            requests: iterable of :class:`SimRequest`s, wire-form
+                dicts, or bare model names (mixed freely).
+            wait: False lets unfinished entries come back ``pending``.
+
+        Returns:
+            The decoded :class:`SweepOutcome` (envelope order).
+        """
+        body = {
+            "schema": wire.ENVELOPE_SCHEMA,
+            "requests": [_as_request(r).to_dict() for r in requests],
+            "wait": wait,
+        }
+        answer = self._call("POST", "/sweep", body)
+        outcome = SweepOutcome(stats=answer.get("stats", {}))
+        for entry in answer.get("results", []):
+            status = entry.get("status", "hit")
+            outcome.statuses.append(status)
+            outcome.results.append(
+                None
+                if status == "pending"
+                else wire.decode_result(entry.get("kind"), entry.get("result"))
+            )
+        return outcome
+
+
+def connect(url: str, timeout: float = 600.0) -> ServiceClient:
+    """Open a client against a running ``repro serve`` daemon.
+
+    Args:
+        url: daemon root URL (``http://host:port``).
+        timeout: per-request socket timeout in seconds.
+
+    Returns:
+        A :class:`ServiceClient`.
+
+    Raises:
+        ServiceError: when the URL is malformed or the daemon does not
+            answer its health check.
+    """
+    client = ServiceClient(url, timeout=timeout)
+    if not client.healthy():
+        raise ServiceError(
+            f"no repro serve daemon answering at {url} -- start one with "
+            "`repro serve` (see docs/SERVICE.md)"
+        )
+    return client

@@ -1,0 +1,196 @@
+"""Versioned JSON wire schema shared by the daemon and the client.
+
+One schema, two transports: the envelope shapes defined here ride over
+HTTP between :mod:`repro.service.daemon` and
+:mod:`repro.service.client`, and every request body embeds the *same*
+:class:`repro.harness.runner.SimRequest` wire form the in-process API
+uses -- the HTTP surface is the Python surface, one layer apart.
+
+Request envelopes (all POST bodies)::
+
+    {"schema": 1, "request": {<SimRequest wire form>}, "wait": true}
+    {"schema": 1, "requests": [{...}, {...}], "wait": true}
+
+Response envelopes::
+
+    {"schema": 1, "status": "hit|miss|pending", "key": "...",
+     "kind": "workload|scaleout", "result": {...}}          # /simulate
+    {"schema": 1, "results": [{...}], "stats": {...}}       # /sweep
+    {"schema": 1, "error": "<actionable message>"}          # any 4xx
+
+``status`` provenance: ``hit`` -- served from the shared store or an
+in-flight computation another request started; ``miss`` -- this request
+triggered a cold simulation; ``pending`` -- the simulation is running
+and the caller asked not to wait (``"wait": false``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.accelerator import WorkloadResult
+from repro.harness.runner import SimRequest, WireFormatError
+
+# The envelope schema version (rides next to SimRequest's own
+# WIRE_SCHEMA_VERSION; both are 1 until an incompatible change).
+ENVELOPE_SCHEMA = 1
+
+# Maximum requests accepted in one /sweep envelope -- a backstop
+# against unbounded memory, not a throughput limit (batch again).
+MAX_SWEEP_REQUESTS = 4096
+
+__all__ = [
+    "ENVELOPE_SCHEMA",
+    "MAX_SWEEP_REQUESTS",
+    "WireFormatError",
+    "decode_result",
+    "encode_result",
+    "error_body",
+    "parse_body",
+    "parse_simulate",
+    "parse_sweep",
+]
+
+
+def parse_body(raw: bytes) -> dict:
+    """Decode and envelope-check one HTTP request body.
+
+    Args:
+        raw: the request body bytes.
+
+    Returns:
+        The parsed JSON object.
+
+    Raises:
+        WireFormatError: when the body is not a JSON object or names an
+            unsupported envelope schema.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8") if raw else "null")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            "request body must be a JSON object envelope, got "
+            f"{type(payload).__name__}"
+        )
+    schema = payload.get("schema", ENVELOPE_SCHEMA)
+    if schema != ENVELOPE_SCHEMA:
+        raise WireFormatError(
+            f"unsupported envelope schema {schema!r}; this daemon speaks "
+            f"schema {ENVELOPE_SCHEMA}"
+        )
+    return payload
+
+
+def _parse_wait(payload: dict) -> bool:
+    """The envelope's ``wait`` flag (default True)."""
+    wait = payload.get("wait", True)
+    if not isinstance(wait, bool):
+        raise WireFormatError(
+            f"field 'wait' must be a boolean, got {wait!r}"
+        )
+    return wait
+
+
+def parse_simulate(payload: dict) -> tuple[SimRequest, bool]:
+    """Validate a ``/simulate`` envelope.
+
+    Args:
+        payload: parsed request body.
+
+    Returns:
+        ``(request, wait)``.
+
+    Raises:
+        WireFormatError: on a missing/malformed ``request`` field.
+    """
+    if "request" not in payload:
+        raise WireFormatError(
+            "envelope must carry a 'request' object (the SimRequest "
+            "wire form; see docs/SERVICE.md)"
+        )
+    return SimRequest.from_dict(payload["request"]), _parse_wait(payload)
+
+
+def parse_sweep(payload: dict) -> tuple[list[SimRequest], bool]:
+    """Validate a ``/sweep`` envelope.
+
+    Args:
+        payload: parsed request body.
+
+    Returns:
+        ``(requests, wait)`` -- requests in envelope order (duplicates
+        allowed; the daemon dedups by canonical key).
+
+    Raises:
+        WireFormatError: on a missing/malformed ``requests`` list, an
+            empty sweep, an oversized sweep, or any invalid entry (the
+            message carries the entry's index).
+    """
+    requests = payload.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise WireFormatError(
+            "envelope must carry a non-empty 'requests' list of "
+            "SimRequest wire forms"
+        )
+    if len(requests) > MAX_SWEEP_REQUESTS:
+        raise WireFormatError(
+            f"sweep of {len(requests)} requests exceeds the "
+            f"{MAX_SWEEP_REQUESTS}-request envelope limit; batch again"
+        )
+    parsed = []
+    for index, entry in enumerate(requests):
+        try:
+            parsed.append(SimRequest.from_dict(entry))
+        except WireFormatError as exc:
+            raise WireFormatError(f"requests[{index}]: {exc}")
+    return parsed, _parse_wait(payload)
+
+
+def encode_result(result) -> dict:
+    """Kind-tag and serialize one result for a response envelope.
+
+    The same kind-tagged shape the stores persist, so client-side
+    decoding and store decoding share one contract.
+
+    Args:
+        result: a :class:`WorkloadResult` or ``ScaleOutResult``.
+
+    Returns:
+        ``{"kind": ..., "result": ...}``.
+    """
+    kind = "workload" if isinstance(result, WorkloadResult) else "scaleout"
+    return {"kind": kind, "result": result.to_dict()}
+
+
+def decode_result(kind: str, data: dict):
+    """Deserialize a response envelope's result by its kind tag.
+
+    Args:
+        kind: ``"workload"`` or ``"scaleout"``.
+        data: the ``result`` object of the envelope.
+
+    Returns:
+        The deserialized result object.
+
+    Raises:
+        WireFormatError: on an unknown kind tag or malformed payload.
+    """
+    try:
+        if kind == "scaleout":
+            from repro.scale.scaleout import ScaleOutResult
+
+            return ScaleOutResult.from_dict(data)
+        if kind == "workload":
+            return WorkloadResult.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed {kind} result payload: {exc}")
+    raise WireFormatError(
+        f"unknown result kind {kind!r}; expected 'workload' or 'scaleout'"
+    )
+
+
+def error_body(message: str) -> dict:
+    """The error envelope for a 4xx response."""
+    return {"schema": ENVELOPE_SCHEMA, "error": message}

@@ -1,0 +1,43 @@
+"""RPR007 clean twin: __all__ equals the documented surface exactly."""
+
+ServiceClient = object
+SessionConfig = object
+SessionStats = object
+SimRequest = object
+SimulationSession = object
+WireFormatError = object
+
+
+def connect():
+    """Stub."""
+
+
+def scaleout():
+    """Stub."""
+
+
+def session():
+    """Stub."""
+
+
+def simulate():
+    """Stub."""
+
+
+def sweep():
+    """Stub."""
+
+
+__all__ = [
+    "ServiceClient",
+    "SessionConfig",
+    "SessionStats",
+    "SimRequest",
+    "SimulationSession",
+    "WireFormatError",
+    "connect",
+    "scaleout",
+    "session",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,44 @@
+"""RPR007 trigger: a facade whose __all__ drifted from the surface.
+
+Four findings: the list is unsorted, the documented name ``scaleout``
+is missing, ``teleport`` is exported without being documented, and
+``teleport`` is not bound in the module either.
+"""
+
+ServiceClient = object
+SessionConfig = object
+SessionStats = object
+SimRequest = object
+SimulationSession = object
+WireFormatError = object
+
+
+def connect():
+    """Stub."""
+
+
+def session():
+    """Stub."""
+
+
+def simulate():
+    """Stub."""
+
+
+def sweep():
+    """Stub."""
+
+
+__all__ = [
+    "simulate",
+    "ServiceClient",
+    "SessionConfig",
+    "SessionStats",
+    "SimRequest",
+    "SimulationSession",
+    "WireFormatError",
+    "connect",
+    "session",
+    "sweep",
+    "teleport",
+]

@@ -43,7 +43,7 @@ class TestSuppressionParsing:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(REGISTRY) == [
             "RPR001",
             "RPR002",
@@ -51,6 +51,7 @@ class TestRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         ]
 
     def test_duplicate_registration_rejected(self):

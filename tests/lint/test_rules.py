@@ -17,6 +17,7 @@ CASES = [
     ("RPR004", "rpr004_trigger.py", "rpr004_clean.py", 5),
     ("RPR005", "rpr005_trigger.py", "rpr005_clean.py", 4),
     ("RPR006", "rpr006/trigger", "rpr006/clean", 4),
+    ("RPR007", "rpr007/trigger", "rpr007/clean", 4),
 ]
 
 

@@ -1,0 +1,197 @@
+"""End-to-end tests: daemon + store + client over real HTTP."""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.core.config import baseline_paper_config
+from repro.harness.runner import (
+    SessionConfig,
+    SimRequest,
+    SimulationSession,
+)
+from repro.service.client import ServiceClient, ServiceError, connect
+from repro.service.daemon import background_daemon
+from repro.service.store import ResultStore
+
+# Reduced sampling keeps each cold simulation fast; the daemon and the
+# in-process comparison session share this configuration.
+QUICK = SessionConfig(sample_strips=2, sample_steps=8)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live daemon (thread-pool mode) and its client."""
+    with ResultStore(tmp_path / "store") as store:
+        with background_daemon(QUICK, store) as (url, _thread):
+            yield ServiceClient(url), store
+
+
+def _get(url, path):
+    """One raw GET, returning (status, parsed body)."""
+    host, port = url.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _post(url, path, body):
+    """One raw POST of a JSON (or raw bytes) body."""
+    host, port = url.removeprefix("http://").split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        payload = body if isinstance(body, bytes) else json.dumps(body)
+        conn.request("POST", path, payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestSimulate:
+    def test_cold_then_warm(self, service):
+        client, store = service
+        status, result = client.submit("NCF")
+        assert status == "miss" and result is not None
+        status, warm = client.submit("NCF")
+        assert status == "hit"
+        assert json.dumps(warm.to_dict()) == json.dumps(result.to_dict())
+        assert len(store) == 1
+
+    def test_byte_identical_to_in_process_session(self, service):
+        client, _store = service
+        remote = client.simulate("NCF", baseline_paper_config(), 0.7, 3)
+        local = SimulationSession(config=QUICK).simulate(
+            "NCF", baseline_paper_config(), 0.7, 3
+        )
+        assert json.dumps(remote.to_dict()) == json.dumps(local.to_dict())
+
+    def test_wait_false_goes_pending_then_lands(self, service):
+        client, store = service
+        status, result = client.submit("SNLI", wait=False)
+        assert status == "pending" and result is None
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, result = client.submit("SNLI", wait=False)
+            if status == "hit":
+                break
+            time.sleep(0.2)
+        assert status == "hit" and result is not None
+        assert len(store) == 1
+
+    def test_scaleout_requests_round_trip(self, service):
+        client, _store = service
+        result = client.simulate("NCF", nodes=4, partition="data")
+        assert result.nodes == 4
+
+
+class TestSweep:
+    def test_batch_dedup_and_warm_repeat(self, service):
+        client, store = service
+        batch = ["NCF", "SNLI", "NCF"]  # duplicate dedups in-batch
+        outcome = client.sweep(batch)
+        assert outcome.statuses.count("miss") == 2
+        assert outcome.statuses.count("hit") == 1
+        assert len(store) == 2
+        # The duplicate rode along on one simulation and shares bytes.
+        assert json.dumps(outcome.results[0].to_dict()) == json.dumps(
+            outcome.results[2].to_dict()
+        )
+        warm = client.sweep(batch)
+        assert warm.statuses == ["hit", "hit", "hit"]
+        assert warm.hit_fraction == 1.0
+        assert warm.stats == {"hit": 3, "miss": 0, "pending": 0}
+        assert len(store) == 2  # zero new simulations
+
+    def test_mixed_request_forms(self, service):
+        client, _store = service
+        outcome = client.sweep(
+            [
+                "NCF",
+                SimRequest.make("NCF", progress=0.7),
+                SimRequest.make("NCF").to_dict(),
+            ]
+        )
+        assert len(outcome.results) == 3
+        assert all(r is not None for r in outcome.results)
+
+    def test_sweep_matches_in_process_api_sweep(self, service):
+        import repro.api as api
+
+        client, _store = service
+        batch = ["NCF", "SNLI"]
+        remote = client.sweep(batch).results
+        local = api.sweep(batch, session_config=QUICK)
+        for ours, theirs in zip(remote, local):
+            assert json.dumps(ours.to_dict()) == json.dumps(theirs.to_dict())
+
+
+class TestStatsAndHealth:
+    def test_healthz(self, service):
+        client, _store = service
+        assert client.healthy()
+
+    def test_stats_reflect_traffic(self, service):
+        client, store = service
+        client.simulate("NCF")
+        client.simulate("NCF")
+        body = client.stats()
+        assert body["stats"]["simulations"] == 1
+        assert body["stats"]["disk_hits"] + body["stats"]["hits"] >= 1
+        assert body["store"]["entries"] == len(store) == 1
+        assert body["config"]["sample_strips"] == 2
+        assert body["versions"]["envelope_schema"] == 1
+
+
+class TestHttpErrors:
+    @pytest.fixture()
+    def url(self, service):
+        client, _store = service
+        return f"http://{client.host}:{client.port}"
+
+    def test_unknown_path_is_404(self, url):
+        status, body = _get(url, "/teleport")
+        assert status == 404 and "endpoints" in body["error"]
+
+    def test_wrong_method_is_405(self, url):
+        status, body = _post(url, "/stats", {})
+        assert status == 405 and "GET" in body["error"]
+
+    def test_malformed_body_is_400(self, url):
+        status, body = _post(url, "/simulate", b"{nope")
+        assert status == 400 and "JSON" in body["error"]
+
+    def test_invalid_request_is_400_with_field_name(self, url):
+        status, body = _post(
+            url, "/simulate", {"request": {"model": "NCF", "progress": 2.0}}
+        )
+        assert status == 400 and "progress" in body["error"]
+
+    def test_client_surfaces_daemon_error(self, url):
+        # An empty sweep passes the client but the daemon rejects it;
+        # the ServiceError carries the daemon's message and status.
+        client = ServiceClient(url)
+        with pytest.raises(ServiceError, match="non-empty") as err:
+            client.sweep([])
+        assert err.value.status == 400
+
+
+class TestConnect:
+    def test_connect_health_checks(self, service):
+        client, _store = service
+        connected = connect(f"http://{client.host}:{client.port}")
+        assert connected.healthy()
+
+    def test_connect_refuses_dead_daemon(self):
+        with pytest.raises(ServiceError, match="repro serve"):
+            connect("http://127.0.0.1:1", timeout=2.0)
+
+    def test_malformed_url_rejected(self):
+        with pytest.raises(ServiceError, match="http"):
+            ServiceClient("ftp://example")

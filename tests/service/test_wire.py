@@ -1,0 +1,155 @@
+"""Tests for the versioned JSON wire schema (envelopes + SimRequest)."""
+
+import json
+
+import pytest
+
+from repro.core.config import baseline_paper_config, fpraker_paper_config
+from repro.harness.runner import (
+    SimRequest,
+    WIRE_SCHEMA_VERSION,
+    WireFormatError,
+    canonical_key,
+)
+from repro.service import wire
+
+
+def _envelope(**fields):
+    return {"schema": wire.ENVELOPE_SCHEMA, **fields}
+
+
+class TestSimRequestWireForm:
+    def test_round_trip_preserves_canonical_key(self):
+        request = SimRequest.make(
+            "NCF",
+            baseline_paper_config(),
+            progress=0.7,
+            seed=3,
+            acc_profile={"fc": 6},
+            phases=("AxW", "GxW"),
+        )
+        back = SimRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
+        assert canonical_key(back, 4, 32, 1234) == canonical_key(
+            request, 4, 32, 1234
+        )
+
+    def test_wire_form_carries_schema_version(self):
+        assert SimRequest.make("NCF").to_dict()["schema"] == (
+            WIRE_SCHEMA_VERSION
+        )
+
+    def test_none_config_round_trips_to_paper_config(self):
+        back = SimRequest.from_dict(SimRequest.make("NCF").to_dict())
+        assert back.resolved_config() == fpraker_paper_config()
+
+    def test_unknown_field_is_actionable(self):
+        data = SimRequest.make("NCF").to_dict()
+        data["wombat"] = 1
+        with pytest.raises(WireFormatError, match="wombat"):
+            SimRequest.from_dict(data)
+
+    def test_unknown_schema_rejected(self):
+        data = SimRequest.make("NCF").to_dict()
+        data["schema"] = 99
+        with pytest.raises(WireFormatError, match="schema"):
+            SimRequest.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "patch,needle",
+        [
+            ({"model": 7}, "model"),
+            ({"progress": "half"}, "progress"),
+            ({"progress": 1.5}, "progress"),
+            ({"seed": 0.5}, "seed"),
+            ({"phases": ["AxW", "XxX"]}, "XxX"),
+            ({"acc_profile": [["fc"]]}, "acc_profile"),
+            ({"nodes": 0}, "nodes"),
+            ({"partition": "diagonal"}, "partition"),
+        ],
+    )
+    def test_field_validation_names_the_field(self, patch, needle):
+        data = SimRequest.make("NCF").to_dict()
+        data.update(patch)
+        with pytest.raises(WireFormatError, match=needle):
+            SimRequest.from_dict(data)
+
+
+class TestEnvelopes:
+    def test_parse_body_accepts_object(self):
+        raw = json.dumps(_envelope(x=1)).encode()
+        assert wire.parse_body(raw)["x"] == 1
+
+    def test_parse_body_rejects_non_json(self):
+        with pytest.raises(WireFormatError, match="not valid JSON"):
+            wire.parse_body(b"{nope")
+
+    def test_parse_body_rejects_non_object(self):
+        with pytest.raises(WireFormatError, match="JSON object"):
+            wire.parse_body(b"[1, 2]")
+
+    def test_parse_body_rejects_foreign_schema(self):
+        with pytest.raises(WireFormatError, match="envelope schema"):
+            wire.parse_body(json.dumps({"schema": 42}).encode())
+
+    def test_parse_simulate_round_trip(self):
+        payload = _envelope(
+            request=SimRequest.make("NCF").to_dict(), wait=False
+        )
+        request, wait = wire.parse_simulate(payload)
+        assert request.model == "NCF" and wait is False
+
+    def test_parse_simulate_requires_request(self):
+        with pytest.raises(WireFormatError, match="'request'"):
+            wire.parse_simulate(_envelope())
+
+    def test_wait_must_be_boolean(self):
+        payload = _envelope(
+            request=SimRequest.make("NCF").to_dict(), wait="yes"
+        )
+        with pytest.raises(WireFormatError, match="wait"):
+            wire.parse_simulate(payload)
+
+    def test_parse_sweep_preserves_order(self):
+        payload = _envelope(
+            requests=[
+                SimRequest.make(m).to_dict() for m in ("NCF", "SNLI", "NCF")
+            ]
+        )
+        requests, wait = wire.parse_sweep(payload)
+        assert [r.model for r in requests] == ["NCF", "SNLI", "NCF"]
+        assert wait is True
+
+    def test_parse_sweep_rejects_empty(self):
+        with pytest.raises(WireFormatError, match="non-empty"):
+            wire.parse_sweep(_envelope(requests=[]))
+
+    def test_parse_sweep_error_carries_index(self):
+        payload = _envelope(
+            requests=[SimRequest.make("NCF").to_dict(), {"model": 5}]
+        )
+        with pytest.raises(WireFormatError, match=r"requests\[1\]"):
+            wire.parse_sweep(payload)
+
+    def test_parse_sweep_enforces_envelope_limit(self):
+        entry = SimRequest.make("NCF").to_dict()
+        payload = _envelope(
+            requests=[entry] * (wire.MAX_SWEEP_REQUESTS + 1)
+        )
+        with pytest.raises(WireFormatError, match="limit"):
+            wire.parse_sweep(payload)
+
+
+class TestResultEncoding:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            wire.decode_result("mystery", {})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(WireFormatError, match="malformed"):
+            wire.decode_result("workload", {"cycles": 1})
+
+    def test_error_body_shape(self):
+        body = wire.error_body("boom")
+        assert body == {"schema": wire.ENVELOPE_SCHEMA, "error": "boom"}
