@@ -34,11 +34,19 @@ from repro.harness.runner import (
     SimulationSession,
     WireFormatError,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 from repro.service.client import connect as _connect
 
 __all__ = [
     "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceTimeoutError",
     "SessionConfig",
     "SessionStats",
     "SimRequest",

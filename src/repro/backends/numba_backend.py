@@ -1,0 +1,275 @@
+"""Optional numba-compiled kernel backend (the ``[backends]`` extra).
+
+Importing this module requires :mod:`numba`; the registry loader in
+:mod:`repro.backends` turns the ImportError into a
+:class:`repro.backends.BackendUnavailableError` so callers fall back to
+numpy gracefully.
+
+Every kernel is a straight scalar transliteration of the numpy
+reference in :mod:`repro.backends.numpy_backend`, and bit-identity is
+by construction, not luck:
+
+* the schedule and timeline kernels are pure integer programs -- the
+  same comparisons over the same int64 values in a different loop
+  order;
+* the matmul kernel's floats are all *exact*: significand products
+  carry at most 17 bits, grid-snapped terms are integers strictly
+  below ``2^(frac + 2)``, and the caller's ``man_dtype`` gate
+  guarantees every group-sum fits float32's 2^24 integer ceiling -- so
+  float64 scalar accumulation here and float32 vector accumulation in
+  the numpy backend compute the identical integer, and the shared
+  round-to-nearest-even snap (``np.rint`` / ``math.frexp`` /
+  ``math.ldexp``) does the rest.
+
+The cross-backend property suites in ``tests/backends/`` enforce this
+whenever numba is installed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+from repro.backends import KernelBackend
+
+# Accumulator-exponent sentinel for a zero accumulator; mirrors
+# fpmath._EACC_ZERO16: it only ever loses a max() against product
+# exponents >= -508.
+_EACC_ZERO = -8192
+
+# Digit positions of the serial significand's partial-CSD table: row
+# stride of the flattened LUT and the largest in-row cut offset.
+_LUT_STRIDE_MAX = 10
+
+# Serial-side CSD cut constant: pmin = (emax - frac + 7) - ABe.
+_BF16_FRAC = 7
+
+
+@njit(cache=True)
+def _compact_cycle_loop(k, kept, window, sentinel):
+    """Per-group serial form of the compacting schedule cycle loop."""
+    groups, lanes, n_terms = k.shape
+    last_slot = n_terms - 1
+    cycles = np.zeros(groups, dtype=np.int64)
+    useful = np.zeros((groups, lanes), dtype=np.int64)
+    shift_stall = np.zeros((groups, lanes), dtype=np.int64)
+    no_term = np.zeros((groups, lanes), dtype=np.int64)
+    index = np.zeros(lanes, dtype=np.int64)
+    sent = np.int64(sentinel)
+    win = np.int64(window)
+    for g in range(groups):
+        for lane in range(lanes):
+            index[lane] = 0
+        while True:
+            base = sent
+            any_pending = False
+            for lane in range(lanes):
+                if index[lane] < np.int64(kept[g, lane]):
+                    any_pending = True
+                    slot = index[lane]
+                    if slot > last_slot:
+                        slot = last_slot
+                    current = np.int64(k[g, lane, slot])
+                    if current < base:
+                        base = current
+            if not any_pending:
+                break
+            cycles[g] += 1
+            for lane in range(lanes):
+                if index[lane] < np.int64(kept[g, lane]):
+                    slot = index[lane]
+                    if slot > last_slot:
+                        slot = last_slot
+                    current = np.int64(k[g, lane, slot])
+                    if current - base <= win:
+                        useful[g, lane] += 1
+                        index[lane] += 1
+                    else:
+                        shift_stall[g, lane] += 1
+                else:
+                    no_term[g, lane] += 1
+    return cycles, useful, shift_stall, no_term
+
+
+@njit(cache=True)
+def _column_timeline(col_cycles, depth):
+    """Per-strip serial form of the batched column-step timeline."""
+    strips, cols, steps = col_cycles.shape
+    finish = np.zeros((strips, cols, steps), dtype=np.int64)
+    cross_idle = np.zeros((strips, cols, steps), dtype=np.int64)
+    for x in range(strips):
+        for s in range(steps):
+            # B set s is released once every column consumed set
+            # s-depth.
+            gate = np.int64(0)
+            if s >= depth:
+                for c in range(cols):
+                    if finish[x, c, s - depth] > gate:
+                        gate = finish[x, c, s - depth]
+            for c in range(cols):
+                prev = finish[x, c, s - 1] if s > 0 else np.int64(0)
+                start = prev if prev > gate else gate
+                cross_idle[x, c, s] = start - prev
+                finish[x, c, s] = start + col_cycles[x, c, s]
+    return finish, cross_idle
+
+
+@njit(cache=True)
+def _round_finite_scalar(value, frac):
+    """Scalar twin of ``fpmath._round_finite`` (RNE significand snap)."""
+    if value == 0.0:
+        return 0.0
+    man, exp = math.frexp(abs(value))
+    rounded = np.rint(math.ldexp(man, frac + 1))
+    magnitude = math.ldexp(rounded, exp - 1 - frac)
+    return magnitude if value > 0.0 else -magnitude
+
+
+@njit(cache=True)
+def _accumulate_chunks_fpraker(a_exp, b_exp, a_idx, b_signed, lut, frac, group):
+    """Chunked matmul group loop, fpraker mode (CSD term dropping)."""
+    m_rows, chunks, span = a_exp.shape
+    n_cols = b_exp.shape[2]
+    out = np.zeros((m_rows, chunks, n_cols), dtype=np.float64)
+    for m in range(m_rows):
+        for c in range(chunks):
+            for n in range(n_cols):
+                acc = 0.0
+                for lo in range(0, span, group):
+                    hi = min(lo + group, span)
+                    if acc != 0.0:
+                        _, exp = math.frexp(abs(acc))
+                        emax = np.int64(exp - 1)
+                    else:
+                        emax = np.int64(_EACC_ZERO)
+                    for j in range(lo, hi):
+                        abe = np.int64(a_exp[m, c, j]) + np.int64(
+                            b_exp[c, j, n]
+                        )
+                        if abe > emax:
+                            emax = abe
+                    gexp = emax - frac
+                    total = np.rint(math.ldexp(acc, -gexp))
+                    for j in range(lo, hi):
+                        abe = np.int64(a_exp[m, c, j]) + np.int64(
+                            b_exp[c, j, n]
+                        )
+                        cut = emax - np.int64(frac - _BF16_FRAC) - abe
+                        if cut < 0:
+                            cut = 0
+                        elif cut > _LUT_STRIDE_MAX:
+                            cut = _LUT_STRIDE_MAX
+                        prod = np.float64(
+                            lut[np.int64(a_idx[m, c, j]) + cut]
+                        ) * np.float64(b_signed[c, j, n])
+                        total += np.rint(math.ldexp(prod, abe - gexp))
+                    acc = _round_finite_scalar(
+                        math.ldexp(total, gexp), frac
+                    )
+                out[m, c, n] = acc
+    return out
+
+
+@njit(cache=True)
+def _accumulate_chunks_plain(a_exp, b_exp, a_sgnman, b_signed, frac, group):
+    """Chunked matmul group loop, bf16 mode (full significands)."""
+    m_rows, chunks, span = a_exp.shape
+    n_cols = b_exp.shape[2]
+    out = np.zeros((m_rows, chunks, n_cols), dtype=np.float64)
+    for m in range(m_rows):
+        for c in range(chunks):
+            for n in range(n_cols):
+                acc = 0.0
+                for lo in range(0, span, group):
+                    hi = min(lo + group, span)
+                    if acc != 0.0:
+                        _, exp = math.frexp(abs(acc))
+                        emax = np.int64(exp - 1)
+                    else:
+                        emax = np.int64(_EACC_ZERO)
+                    for j in range(lo, hi):
+                        abe = np.int64(a_exp[m, c, j]) + np.int64(
+                            b_exp[c, j, n]
+                        )
+                        if abe > emax:
+                            emax = abe
+                    gexp = emax - frac
+                    total = np.rint(math.ldexp(acc, -gexp))
+                    for j in range(lo, hi):
+                        abe = np.int64(a_exp[m, c, j]) + np.int64(
+                            b_exp[c, j, n]
+                        )
+                        prod = np.float64(
+                            a_sgnman[m, c, j]
+                        ) * np.float64(b_signed[c, j, n])
+                        total += np.rint(math.ldexp(prod, abe - gexp))
+                    acc = _round_finite_scalar(
+                        math.ldexp(total, gexp), frac
+                    )
+                out[m, c, n] = acc
+    return out
+
+
+class NumbaBackend(KernelBackend):
+    """``@njit``-compiled implementation of the three hot kernels."""
+
+    name = "numba"
+
+    def compact_cycle_loop(
+        self,
+        k: np.ndarray,
+        kept: np.ndarray,
+        window: int,
+        sentinel: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The compacting schedule loop (see :class:`KernelBackend`)."""
+        return _compact_cycle_loop(
+            np.ascontiguousarray(k),
+            np.ascontiguousarray(kept),
+            np.int64(window),
+            np.int64(sentinel),
+        )
+
+    def column_timeline(
+        self, col_cycles: np.ndarray, depth: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The batched column-step timeline (see :class:`KernelBackend`)."""
+        return _column_timeline(
+            np.ascontiguousarray(col_cycles), np.int64(depth)
+        )
+
+    def accumulate_chunks(
+        self,
+        a_exp: np.ndarray,
+        b_exp: np.ndarray,
+        a_mag: np.ndarray,
+        b_signed: np.ndarray,
+        lut: np.ndarray,
+        frac: int,
+        group: int,
+        fpraker: bool,
+        man_dtype: type,
+    ) -> np.ndarray:
+        """The chunked matmul group loop (see :class:`KernelBackend`).
+
+        ``man_dtype`` is unused: the scalar kernels accumulate in
+        float64, which is bit-identical to the vectorized ``man_dtype``
+        sums because every intermediate is an exact integer (the same
+        range guarantee that lets the numpy backend narrow to float32).
+        """
+        args = (
+            np.ascontiguousarray(a_exp),
+            np.ascontiguousarray(b_exp),
+            np.ascontiguousarray(a_mag),
+            np.ascontiguousarray(b_signed),
+        )
+        if fpraker:
+            return _accumulate_chunks_fpraker(
+                *args, np.ascontiguousarray(lut),
+                np.int64(frac), np.int64(group),
+            )
+        return _accumulate_chunks_plain(
+            *args, np.int64(frac), np.int64(group)
+        )

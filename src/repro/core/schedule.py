@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.core.config import PEConfig
 from repro.encoding.booth import term_positions
 from repro.encoding.terms import MAX_TERMS, TERM_SLOTS
@@ -302,6 +303,7 @@ def schedule_from_weights_compact(
     zero_slots: np.ndarray,
     ob_skipped: np.ndarray,
     config: PEConfig,
+    kernel_backend: str = "numpy",
 ) -> ScheduleResult:
     """Compacting variant of :func:`schedule_from_weights`.
 
@@ -318,6 +320,11 @@ def schedule_from_weights_compact(
     in the given dtype, which halves the hot loop's memory traffic for
     the batched engine's int16 offsets.
 
+    The residual cycle loop (the groups the closed-form fast path below
+    cannot answer) runs through the :mod:`repro.backends` kernel layer;
+    every backend is bit-identical by contract, so the knob never
+    changes results.
+
     Args:
         k: ``[..., lanes, MAX_TERMS]`` ascending offsets, sentinel
             padded.
@@ -325,6 +332,8 @@ def schedule_from_weights_compact(
         zero_slots: ``[..., lanes]`` never-encoded slots.
         ob_skipped: ``[..., lanes]`` OB-discarded terms.
         config: PE parameters (shift window).
+        kernel_backend: :data:`repro.backends.KERNEL_BACKENDS` entry
+            running the residual cycle loop.
 
     Returns:
         The per-group :class:`ScheduleResult` in the leading shape.
@@ -340,7 +349,6 @@ def schedule_from_weights_compact(
     shift_stall = np.zeros((groups, lanes), dtype=np.int64)
     no_term = np.zeros((groups, lanes), dtype=np.int64)
     window = config.shift_window
-    last_slot = n_terms - 1
     # Closed-form fast path: when every surviving offset of a group
     # lies within one shift window (its live span), each cycle's base
     # is within ``window`` of every pending head, so every pending lane
@@ -362,63 +370,15 @@ def schedule_from_weights_compact(
     useful = np.where(fast[:, None], kept_all, useful)
     no_term = np.where(fast[:, None], fast_cycles[:, None] - kept_all, no_term)
     slow = np.flatnonzero(~fast)
-    k_live = np.ascontiguousarray(k_all[slow])
-    kept_live = kept_all[slow]
-    live = slow
-    index = np.zeros((slow.size, lanes), dtype=np.int64)
-    cycles_live = np.zeros(slow.size, dtype=np.int64)
-    useful_live = np.zeros((slow.size, lanes), dtype=np.int64)
-    shift_live = np.zeros((slow.size, lanes), dtype=np.int64)
-    no_term_live = np.zeros((slow.size, lanes), dtype=np.int64)
-    # Flat gather base for the current-term lookup (cheaper than
-    # take_along_axis in the hot loop); rebuilt after each compaction.
-    flat_base = (
-        np.arange(slow.size)[:, None] * lanes + np.arange(lanes)
-    ) * n_terms
-    k_flat = k_live.reshape(-1)
-    while live.size:
-        pending = index < kept_live
-        alive = pending.any(axis=1)
-        n_alive = int(alive.sum())
-        if n_alive * 5 < live.size * 3:
-            # Enough groups retired (> 40%): write their ledgers home
-            # and shrink the working set.  Compacting lazily keeps the
-            # per-iteration cost of the scatter/gather well below the
-            # ufunc work it saves; retired groups that linger until the
-            # next sweep accumulate nothing (every add below is gated).
-            done = ~alive
-            home = live[done]
-            cycles[home] = cycles_live[done]
-            useful[home] = useful_live[done]
-            shift_stall[home] = shift_live[done]
-            no_term[home] = no_term_live[done]
-            live = live[alive]
-            if not live.size:
-                break
-            k_live = np.ascontiguousarray(k_live[alive])
-            kept_live = kept_live[alive]
-            index = index[alive]
-            pending = pending[alive]
-            cycles_live = cycles_live[alive]
-            useful_live = useful_live[alive]
-            shift_live = shift_live[alive]
-            no_term_live = no_term_live[alive]
-            flat_base = flat_base[: live.size]
-            k_flat = k_live.reshape(-1)
-            alive = None  # every group in the set is now alive
-        current = k_flat[flat_base + np.minimum(index, last_slot)]
-        current = np.where(pending, current, sentinel)
-        base = current.min(axis=1)
-        fire = pending & (current - base[:, None] <= window)
-        useful_live += fire
-        index += fire
-        shift_live += pending & ~fire
-        if alive is None:
-            no_term_live += ~pending
-            cycles_live += 1
-        else:
-            no_term_live += (~pending) & alive[:, None]
-            cycles_live += alive
+    if slow.size:
+        backend = resolve_backend(kernel_backend)
+        s_cycles, s_useful, s_shift, s_no_term = backend.compact_cycle_loop(
+            k_all[slow], kept_all[slow], window, sentinel
+        )
+        cycles[slow] = s_cycles
+        useful[slow] = s_useful
+        shift_stall[slow] = s_shift
+        no_term[slow] = s_no_term
     # A group with no terms at all still costs its one exponent cycle,
     # with every lane idle.
     empty = cycles == 0

@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.backends import KERNEL_BACKENDS
 from repro.core.accelerator import AcceleratorSimulator, WorkloadResult
 from repro.core.baseline import BaselineAccelerator
 from repro.core.config import (
@@ -318,6 +319,7 @@ def execute_request(
     sim_seed: int = 1234,
     memory_engine: str = "roofline",
     workload_cache="default",
+    kernel_backend: str = "numpy",
 ) -> WorkloadResult:
     """Run one simulation cold (module-level so worker processes can
     receive it by name).
@@ -335,6 +337,10 @@ def execute_request(
             ``"default"``, a cache instance, a disk directory (strings
             survive the trip into worker processes), or None for cold
             builds.
+        kernel_backend: :data:`repro.backends.KERNEL_BACKENDS` entry
+            the hot kernels run through.  Deliberately absent from
+            :func:`canonical_key`: every backend is bit-identical by
+            contract, so a cached result is valid under all of them.
 
     Returns:
         The simulated :class:`WorkloadResult` -- or, when
@@ -364,6 +370,7 @@ def execute_request(
             sample_steps=sample_steps,
             seed=sim_seed,
             memory_engine=memory_engine,
+            kernel_backend=kernel_backend,
         )
         return simulator.simulate_workload(workloads, model=request.model)
     if config.name == "baseline":
@@ -379,6 +386,7 @@ def execute_request(
         sample_steps=sample_steps,
         seed=sim_seed,
         memory_engine=memory_engine,
+        kernel_backend=kernel_backend,
     )
     return simulator.simulate_workload(workloads)
 
@@ -406,6 +414,11 @@ class SessionConfig:
             persisted under ``cache_dir/workloads`` when ``cache_dir``
             is set), ``False`` (rebuild per simulation), or a disk
             directory.
+        kernel_backend: :data:`repro.backends.KERNEL_BACKENDS` entry
+            the hot kernels run through (``"numpy"`` default;
+            ``"numba"`` falls back to numpy with a warning when the
+            optional dependency is absent).  Never part of canonical
+            cache keys: every backend is bit-identical by contract.
     """
 
     jobs: int = 1
@@ -415,6 +428,7 @@ class SessionConfig:
     sim_seed: int = 1234
     memory_engine: str = "roofline"
     workload_cache: bool | str = True
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         """Validate and normalize every field (frozen-safe)."""
@@ -433,6 +447,11 @@ class SessionConfig:
             )
         if self.memory_engine not in ("roofline", "hierarchy"):
             raise ValueError(f"unknown memory engine {self.memory_engine!r}")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", os.fspath(self.cache_dir))
         if not isinstance(self.workload_cache, bool):
@@ -464,6 +483,7 @@ class SessionConfig:
             "sim_seed": self.sim_seed,
             "memory_engine": self.memory_engine,
             "workload_cache": self.workload_cache,
+            "kernel_backend": self.kernel_backend,
         }
 
     @classmethod
@@ -495,7 +515,7 @@ class SessionConfig:
             )
         known = (
             "schema", "jobs", "cache_dir", "sample_strips", "sample_steps",
-            "sim_seed", "memory_engine", "workload_cache",
+            "sim_seed", "memory_engine", "workload_cache", "kernel_backend",
         )
         unknown = sorted(set(data) - set(known))
         if unknown:
@@ -511,6 +531,7 @@ class SessionConfig:
             "sim_seed": data.get("sim_seed"),
             "memory_engine": data.get("memory_engine"),
             "workload_cache": data.get("workload_cache"),
+            "kernel_backend": data.get("kernel_backend"),
         }
         kwargs = {}
         for name, value in values.items():
@@ -617,6 +638,7 @@ class SimulationSession:
         self.sample_steps = config.sample_steps
         self.sim_seed = config.sim_seed
         self.memory_engine = config.memory_engine
+        self.kernel_backend = config.kernel_backend
         self.workload_cache_spec = config.workload_cache_spec
         self.disk = (
             ResultCache(config.cache_dir)
@@ -778,6 +800,7 @@ class SimulationSession:
                         self.sim_seed,
                         self.memory_engine,
                         self.workload_cache_spec,
+                        self.kernel_backend,
                     )
                     for _, request in items
                 ]
@@ -816,4 +839,5 @@ class SimulationSession:
             self.sim_seed,
             self.memory_engine,
             self.workload_cache_spec,
+            self.kernel_backend,
         )

@@ -28,6 +28,9 @@ FACADE_BASENAME = "api.py"
 # README quick-start).  Sorted; ``__all__`` must equal it exactly.
 FACADE_SURFACE = (
     "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceTimeoutError",
     "SessionConfig",
     "SessionStats",
     "SimRequest",

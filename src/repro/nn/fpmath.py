@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import KERNEL_BACKENDS, resolve_backend
 from repro.encoding.booth import _LUT_PARTIAL_SIGNED16_FLAT, partial_csd_sum
 from repro.fp.bfloat16 import bf16_fields, bf16_quantize
 from repro.fp.softfloat import round_significand
@@ -55,18 +56,27 @@ class EngineConfig:
             out-of-bounds threshold in ``fpraker`` mode.
         chunk_size: MACs per chunk before flushing to fp32 (paper: 64).
         group: MACs per accumulation round (paper: 8, one PE group).
+        kernel_backend: :data:`repro.backends.KERNEL_BACKENDS` entry the
+            chunk-vectorized group loop runs through; bit-identical by
+            contract, so the knob never changes results.
     """
 
     mode: str = "fp32"
     acc_frac_bits: int = 12
     chunk_size: int = 64
     group: int = 8
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(f"unknown mode {self.mode!r}; expected one of {_MODES}")
         if self.chunk_size % self.group:
             raise ValueError("chunk_size must be a multiple of group")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
+            )
 
 
 class MatmulEngine:
@@ -236,16 +246,22 @@ class MatmulEngine:
         #   full product value, never over- or underflows;
         # * a grid-snapped term is an integer with |t| < 2^(frac + 2)
         #   (ldexp to a subnormal only happens below 0.5, where rint
-        #   yields the same 0), and sums of at most nine such integers
-        #   stay exact in float32 up to its 2^24 integer ceiling --
-        #   which holds through frac_bits 18; wider accumulators
-        #   (Pragmatic-style configs) run the identical pipeline in
-        #   float64.
+        #   yields the same 0), so a round's group-sum stays strictly
+        #   below group * 2^(frac + 2) and is exact in float32 while
+        #   that bound fits its 2^24 integer ceiling.  The gate below
+        #   checks exactly that -- the paper's group of 8 runs float32
+        #   through frac_bits 19; wider accumulators or larger rounds
+        #   (Pragmatic-style configs, coarse grouping sweeps) run the
+        #   identical pipeline in float64.
         #
         # The serial reference keeps the float64 formulation; the
         # property suite pins this path against it bit for bit.
         frac = cfg.acc_frac_bits
-        man_dtype = np.float32 if frac <= 18 else np.float64
+        man_dtype = (
+            np.float32
+            if cfg.group * (1 << (frac + 2)) <= (1 << 24)
+            else np.float64
+        )
         a_exp_r = a_slice(a_exp.astype(np.int16))
         b_exp_r = b_slice(b_exp.astype(np.int16))
         if fpraker:
@@ -263,42 +279,18 @@ class MatmulEngine:
                 -_PRODUCT_FRAC_BITS,
             )
         )
-        acc = np.zeros((m_rows, chunks, n_cols), dtype=np.float64)
-        for lo in range(0, span, cfg.group):
-            hi = min(lo + cfg.group, span)
-            # [M, chunks, group, N] product exponents.
-            abe = a_exp_r[:, :, lo:hi, None] + b_exp_r[None, :, lo:hi, :]
-            acc_exp = _leading_exponent16(acc)
-            emax = np.maximum(abe.max(axis=2), acc_exp)
-            gexp = emax - np.int16(frac)
-            if fpraker:
-                # pmin = (emax - ABe) - (frac - 7), with the constant
-                # folded into the small emax-shaped term.
-                pmin = (emax - np.int16(frac - _BF16_FRAC))[
-                    :, :, None, :
-                ] - abe
-                cut = np.clip(pmin, 0, 10)
-                manprod = (
-                    _LUT_PARTIAL_SIGNED16_FLAT[a_idx_r[:, :, lo:hi, None] + cut]
-                    * b_signed_r[None, :, lo:hi, :]
-                )
-            else:
-                manprod = (
-                    a_sgnman_r[:, :, lo:hi, None]
-                    * b_signed_r[None, :, lo:hi, :]
-                )
-            # Scale the significand product straight onto the snapping
-            # grid: value = manprod * 2^(ABe + frac - emax).
-            snapped = np.rint(
-                np.ldexp(manprod, abe - gexp[:, :, None, :])
-            )
-            total = snapped.sum(axis=2, dtype=man_dtype).astype(
-                np.float64
-            ) + np.rint(np.ldexp(acc, -gexp.astype(np.int64)))
-            acc = _round_finite(
-                np.ldexp(total, gexp.astype(np.int64)), frac
-            )
-        return acc
+        backend = resolve_backend(cfg.kernel_backend)
+        return backend.accumulate_chunks(
+            a_exp_r,
+            b_exp_r,
+            a_idx_r if fpraker else a_sgnman_r,
+            b_signed_r,
+            _LUT_PARTIAL_SIGNED16_FLAT,
+            frac,
+            cfg.group,
+            fpraker,
+            man_dtype,
+        )
 
     def _matmul_emulated_reference(
         self, a: np.ndarray, b: np.ndarray, fpraker: bool

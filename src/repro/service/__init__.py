@@ -22,11 +22,20 @@ Modules:
   (:func:`repro.api.connect` returns one).
 """
 
-from repro.service.client import ServiceClient, connect
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+    connect,
+)
 from repro.service.store import ResultStore
 
 __all__ = [
     "ResultStore",
     "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceTimeoutError",
     "connect",
 ]

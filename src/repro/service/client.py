@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import urllib.parse
 from dataclasses import dataclass, field
 
@@ -37,6 +38,24 @@ class ServiceError(RuntimeError):
     def __init__(self, message: str, status: int = 0) -> None:
         super().__init__(message)
         self.status = status
+
+
+class ServiceConnectionError(ServiceError):
+    """No daemon is listening at the client's URL.
+
+    Raised instead of the raw :class:`OSError` so callers can catch
+    "daemon is down" distinctly from a daemon-side error; the message
+    names the URL and how to start a daemon there.
+    """
+
+
+class ServiceTimeoutError(ServiceError):
+    """The daemon accepted the connection but did not answer in time.
+
+    Distinct from :class:`ServiceConnectionError`: the daemon is *up*
+    but slow (usually a cold simulation outrunning the client timeout).
+    The message names the URL and the timeout that expired.
+    """
 
 
 @dataclass
@@ -75,15 +94,23 @@ class ServiceClient:
 
     Args:
         base_url: the daemon's root URL (``http://host:port``).
-        timeout: per-request socket timeout in seconds (cold
-            simulations answer only after the simulation finishes, so
-            keep this generous).
+        timeout: per-request socket timeout in seconds for calls that
+            may block on a cold simulation (keep this generous).
+        poll_timeout: socket timeout for calls that never block on a
+            simulation -- health checks, stats, and ``wait=False``
+            polls -- so a dead daemon fails in seconds, not after the
+            full cold-run ``timeout``.
 
     Raises:
         ServiceError: on a malformed or non-HTTP URL.
     """
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        poll_timeout: float = 10.0,
+    ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if not base_url.startswith("http://") or not parsed.hostname:
             raise ServiceError(
@@ -92,13 +119,35 @@ class ServiceClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.poll_timeout = poll_timeout
+
+    @property
+    def url(self) -> str:
+        """The daemon root URL this client is bound to."""
+        return f"http://{self.host}:{self.port}"
 
     # -- transport ---------------------------------------------------------
 
-    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
-        """One HTTP round trip; raises :class:`ServiceError` on failure."""
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """One HTTP round trip; raises :class:`ServiceError` on failure.
+
+        Args:
+            method: HTTP method.
+            path: endpoint path.
+            body: JSON body (None for GET).
+            timeout: socket timeout override; defaults to the client's
+                cold-run ``timeout``.
+        """
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
         )
         try:
             payload = None if body is None else json.dumps(body)
@@ -107,10 +156,22 @@ class ServiceClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                f"daemon at {self.url} did not answer {method} {path} "
+                f"within {connection.timeout:g}s ({exc}); the daemon is "
+                "reachable but slow -- raise the client timeout if a "
+                "cold simulation is expected to run this long"
+            )
+        except ConnectionError as exc:
+            raise ServiceConnectionError(
+                f"cannot reach daemon at {self.url}: {exc}; is a "
+                f"`repro serve` daemon running there? (see "
+                "docs/SERVICE.md)"
+            )
         except (OSError, http.client.HTTPException) as exc:
-            raise ServiceError(
-                f"cannot reach daemon at http://{self.host}:{self.port}: "
-                f"{exc}"
+            raise ServiceConnectionError(
+                f"cannot reach daemon at {self.url}: {exc}"
             )
         finally:
             connection.close()
@@ -135,13 +196,16 @@ class ServiceClient:
     def healthy(self) -> bool:
         """Whether the daemon answers ``/healthz``."""
         try:
-            return bool(self._call("GET", "/healthz").get("ok"))
+            ok = self._call(
+                "GET", "/healthz", timeout=self.poll_timeout
+            ).get("ok")
+            return bool(ok)
         except ServiceError:
             return False
 
     def stats(self) -> dict:
         """The daemon's ``/stats`` body (session, store, versions)."""
-        return self._call("GET", "/stats")
+        return self._call("GET", "/stats", timeout=self.poll_timeout)
 
     def submit(self, request, wait: bool = True) -> tuple[str, object]:
         """Low-level ``/simulate``: provenance plus (optional) result.
@@ -150,7 +214,8 @@ class ServiceClient:
             request: a :class:`SimRequest`, its wire-form dict, or a
                 bare model name.
             wait: False returns ``("pending", None)`` while the daemon
-                computes.
+                computes; such polls run under the short
+                ``poll_timeout`` since the daemon answers immediately.
 
         Returns:
             ``(status, result)`` where status is ``hit|miss|pending``.
@@ -160,7 +225,12 @@ class ServiceClient:
             "request": _as_request(request).to_dict(),
             "wait": wait,
         }
-        answer = self._call("POST", "/simulate", body)
+        answer = self._call(
+            "POST",
+            "/simulate",
+            body,
+            timeout=None if wait else self.poll_timeout,
+        )
         if answer.get("status") == "pending":
             return "pending", None
         return (
@@ -208,17 +278,25 @@ class ServiceClient:
         Args:
             requests: iterable of :class:`SimRequest`s, wire-form
                 dicts, or bare model names (mixed freely).
-            wait: False lets unfinished entries come back ``pending``.
+            wait: False lets unfinished entries come back ``pending``
+                and runs the call under the short ``poll_timeout``.
 
         Returns:
-            The decoded :class:`SweepOutcome` (envelope order).
+            The decoded :class:`SweepOutcome` (envelope order).  An
+            empty ``requests`` iterable is a valid empty sweep: the
+            outcome carries zero results and an all-zero stats tally.
         """
         body = {
             "schema": wire.ENVELOPE_SCHEMA,
             "requests": [_as_request(r).to_dict() for r in requests],
             "wait": wait,
         }
-        answer = self._call("POST", "/sweep", body)
+        answer = self._call(
+            "POST",
+            "/sweep",
+            body,
+            timeout=None if wait else self.poll_timeout,
+        )
         outcome = SweepOutcome(stats=answer.get("stats", {}))
         for entry in answer.get("results", []):
             status = entry.get("status", "hit")

@@ -121,18 +121,21 @@ def parse_sweep(payload: dict) -> tuple[list[SimRequest], bool]:
 
     Returns:
         ``(requests, wait)`` -- requests in envelope order (duplicates
-        allowed; the daemon dedups by canonical key).
+        allowed; the daemon dedups by canonical key).  An empty list is
+        a valid (trivial) sweep: the daemon answers it with zero
+        results and an all-zero tally rather than an error, mirroring
+        ``repro.api.sweep([])``.
 
     Raises:
         WireFormatError: on a missing/malformed ``requests`` list, an
-            empty sweep, an oversized sweep, or any invalid entry (the
-            message carries the entry's index).
+            oversized sweep, or any invalid entry (the message carries
+            the entry's index).
     """
     requests = payload.get("requests")
-    if not isinstance(requests, list) or not requests:
+    if not isinstance(requests, list):
         raise WireFormatError(
-            "envelope must carry a non-empty 'requests' list of "
-            "SimRequest wire forms"
+            "envelope must carry a 'requests' list of SimRequest wire "
+            "forms (an empty list is a valid empty sweep)"
         )
     if len(requests) > MAX_SWEEP_REQUESTS:
         raise WireFormatError(

@@ -1,0 +1,162 @@
+"""Numba backend vs the numpy reference: kernel-level bit-identity.
+
+These suites exercise the ``@njit``-compiled kernels directly against
+:class:`repro.backends.numpy_backend.NumpyBackend` -- the bit-exactness
+anchor -- over hypothesis-generated inputs, including the degenerate
+shapes the simulators produce (empty groups, single strips, all-zero
+streams).  The whole module skips when the optional numba dependency
+(the ``[backends]`` extra) is not installed; the dispatch-level parity
+suite in ``test_parity.py`` still runs everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("numba")
+
+from repro.backends import get_backend  # noqa: E402
+from repro.nn.fpmath import (  # noqa: E402
+    _LUT_PARTIAL_SIGNED16_FLAT,
+    EngineConfig,
+    MatmulEngine,
+)
+
+NUMPY = get_backend("numpy")
+NUMBA = get_backend("numba")
+
+_SENTINEL = np.int64(1 << 30)
+
+
+def _schedule_case(seed, groups, lanes, n_terms, kmax):
+    rng = np.random.default_rng(seed)
+    count = rng.integers(0, n_terms + 1, (groups, lanes))
+    k = rng.integers(0, kmax, (groups, lanes, n_terms))
+    slot = np.arange(n_terms)
+    k = np.where(slot < count[:, :, None], k, _SENTINEL)
+    return k, count
+
+
+class TestCompactCycleLoop:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        groups=st.integers(1, 12),
+        lanes=st.integers(1, 8),
+        n_terms=st.integers(1, 5),
+        kmax=st.sampled_from([2, 6, 14, 40]),
+        window=st.integers(1, 8),
+    )
+    def test_property(self, seed, groups, lanes, n_terms, kmax, window):
+        k, kept = _schedule_case(seed, groups, lanes, n_terms, kmax)
+        want = NUMPY.compact_cycle_loop(k, kept, window, int(_SENTINEL))
+        got = NUMBA.compact_cycle_loop(k, kept, window, int(_SENTINEL))
+        for ours, theirs in zip(got, want):
+            assert ours.dtype == theirs.dtype
+            assert (ours == theirs).all()
+
+    def test_int16_offsets(self):
+        k, kept = _schedule_case(3, 40, 8, 5, 14)
+        sentinel16 = np.int16(1 << 12)
+        k16 = np.where(k >= _SENTINEL, np.int64(sentinel16), k).astype(
+            np.int16
+        )
+        want = NUMPY.compact_cycle_loop(k16, kept, 3, int(sentinel16))
+        got = NUMBA.compact_cycle_loop(k16, kept, 3, int(sentinel16))
+        for ours, theirs in zip(got, want):
+            assert (ours == theirs).all()
+
+    def test_all_empty_groups(self):
+        k = np.full((5, 4, 3), _SENTINEL)
+        kept = np.zeros((5, 4), dtype=np.int64)
+        want = NUMPY.compact_cycle_loop(k, kept, 4, int(_SENTINEL))
+        got = NUMBA.compact_cycle_loop(k, kept, 4, int(_SENTINEL))
+        for ours, theirs in zip(got, want):
+            assert (ours == theirs).all()
+
+
+class TestColumnTimeline:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        strips=st.integers(1, 6),
+        cols=st.integers(1, 8),
+        steps=st.integers(1, 24),
+        depth=st.integers(1, 8),
+    )
+    def test_property(self, seed, strips, cols, steps, depth):
+        rng = np.random.default_rng(seed)
+        col_cycles = rng.integers(0, 40, (strips, cols, steps))
+        want = NUMPY.column_timeline(col_cycles, depth)
+        got = NUMBA.column_timeline(col_cycles, depth)
+        for ours, theirs in zip(got, want):
+            assert ours.dtype == theirs.dtype
+            assert (ours == theirs).all()
+
+    def test_single_strip(self):
+        rng = np.random.default_rng(1)
+        col_cycles = rng.integers(0, 12, (1, 8, 10))
+        want = NUMPY.column_timeline(col_cycles, 2)
+        got = NUMBA.column_timeline(col_cycles, 2)
+        for ours, theirs in zip(got, want):
+            assert (ours == theirs).all()
+
+    def test_all_zero_cycles(self):
+        col_cycles = np.zeros((3, 4, 6), dtype=np.int64)
+        want = NUMPY.column_timeline(col_cycles, 3)
+        got = NUMBA.column_timeline(col_cycles, 3)
+        for ours, theirs in zip(got, want):
+            assert (ours == theirs).all()
+
+
+class TestAccumulateChunks:
+    """Pin through the engine: field extraction stays in fpmath, so the
+    engine-level comparison covers the exact array shapes/dtypes the
+    kernel receives."""
+
+    def _assert_same(self, got, want):
+        both_nan = np.isnan(got) & np.isnan(want)
+        same = (
+            (got == want) & (np.signbit(got) == np.signbit(want))
+        ) | both_nan
+        assert same.all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        m=st.integers(1, 12),
+        k=st.integers(1, 200),
+        n=st.integers(1, 8),
+        spread=st.sampled_from([0, 6, 20, 120]),
+        sparsity=st.sampled_from([0.0, 0.4, 1.0]),
+        mode=st.sampled_from(["bf16", "fpraker"]),
+        frac_bits=st.sampled_from([5, 12, 18, 23]),
+    )
+    @pytest.mark.filterwarnings(
+        "ignore:overflow encountered in cast:RuntimeWarning"
+    )
+    def test_property(self, seed, m, k, n, spread, sparsity, mode, frac_bits):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, (m, k)) * 2.0 ** rng.integers(
+            -spread, spread + 1, (m, k)
+        )
+        b = rng.normal(0, 1, (k, n)) * 2.0 ** rng.integers(
+            -spread, spread + 1, (k, n)
+        )
+        a[rng.random(a.shape) < sparsity] = 0.0
+        want = MatmulEngine(
+            EngineConfig(
+                mode=mode, acc_frac_bits=frac_bits, kernel_backend="numpy"
+            )
+        ).matmul(a, b)
+        got = MatmulEngine(
+            EngineConfig(
+                mode=mode, acc_frac_bits=frac_bits, kernel_backend="numba"
+            )
+        ).matmul(a, b)
+        self._assert_same(got, want)
+
+    def test_lut_is_shared(self):
+        # Both backends read the same flattened CSD partial table.
+        assert _LUT_PARTIAL_SIGNED16_FLAT.flags.c_contiguous

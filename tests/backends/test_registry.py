@@ -1,0 +1,135 @@
+"""The kernel-backend registry: lookup, caching, fallback, validation.
+
+The dispatch contract (every backend bit-identical, the knob absent
+from canonical cache keys) is enforced by the parity suites next door;
+these tests pin the registry mechanics that make the knob safe to
+expose: unknown names fail loudly at every layer, a missing optional
+dependency degrades to numpy with a single warning, and the knob
+round-trips through ``SessionConfig`` wire forms without entering the
+canonical key.
+"""
+
+import warnings
+
+import pytest
+
+import repro.backends as backends
+from repro.backends import (
+    KERNEL_BACKENDS,
+    BackendUnavailableError,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.backends.numpy_backend import NumpyBackend
+
+
+def _numba_installed() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        backend = get_backend("numpy")
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name == "numpy"
+        assert "numpy" in available_backends()
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert resolve_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cython")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cython")
+
+    def test_every_registered_name_has_a_loader(self):
+        assert set(KERNEL_BACKENDS) <= set(backends._REGISTRY)
+
+    @pytest.mark.skipif(
+        _numba_installed(), reason="numba present: no fallback to exercise"
+    )
+    def test_missing_numba_get_raises_actionable(self):
+        get_backend.cache_clear()
+        with pytest.raises(BackendUnavailableError, match="backends"):
+            get_backend("numba")
+
+    @pytest.mark.skipif(
+        _numba_installed(), reason="numba present: no fallback to exercise"
+    )
+    def test_missing_numba_resolve_falls_back_with_warning(self):
+        get_backend.cache_clear()
+        resolve_backend.cache_clear()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = resolve_backend("numba")
+        assert isinstance(backend, NumpyBackend)
+        # The lru cache makes the warning once-per-process: a second
+        # resolve returns the cached fallback silently.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba") is backend
+
+    @pytest.mark.skipif(
+        not _numba_installed(), reason="optional numba not installed"
+    )
+    def test_numba_resolves_when_installed(self):
+        backend = resolve_backend("numba")
+        assert isinstance(backend, KernelBackend)
+        assert backend.name == "numba"
+        assert "numba" in available_backends()
+
+
+class TestKnobValidation:
+    def test_engine_config_rejects_unknown_backend(self):
+        from repro.nn.fpmath import EngineConfig
+
+        with pytest.raises(ValueError, match="kernel backend"):
+            EngineConfig(kernel_backend="gpu")
+
+    def test_accelerator_rejects_unknown_backend(self):
+        from repro.core.accelerator import AcceleratorSimulator
+
+        with pytest.raises(ValueError, match="kernel backend"):
+            AcceleratorSimulator(kernel_backend="gpu")
+
+    def test_session_config_rejects_unknown_backend(self):
+        from repro.harness.runner import SessionConfig
+
+        with pytest.raises(ValueError, match="kernel backend"):
+            SessionConfig(kernel_backend="gpu")
+
+
+class TestKnobWireForm:
+    def test_session_config_round_trips_the_knob(self):
+        from repro.harness.runner import SessionConfig
+
+        config = SessionConfig(kernel_backend="numba")
+        assert config.to_dict()["kernel_backend"] == "numba"
+        assert SessionConfig.from_dict(config.to_dict()) == config
+
+    def test_absent_knob_defaults_to_numpy(self):
+        from repro.harness.runner import SessionConfig
+
+        wire = SessionConfig().to_dict()
+        del wire["kernel_backend"]
+        assert SessionConfig.from_dict(wire).kernel_backend == "numpy"
+
+    def test_knob_does_not_enter_canonical_keys(self):
+        # Backends are bit-identical by contract, so a cached result is
+        # valid under every backend: the canonical key must not move.
+        import inspect
+
+        from repro.harness.runner import SimRequest, canonical_key
+
+        assert "kernel_backend" not in inspect.signature(
+            canonical_key
+        ).parameters
+        key = canonical_key(SimRequest.make("NCF"), 2, 8, 1234)
+        assert "kernel_backend" not in key and "numba" not in key

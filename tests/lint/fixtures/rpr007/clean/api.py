@@ -1,6 +1,9 @@
 """RPR007 clean twin: __all__ equals the documented surface exactly."""
 
 ServiceClient = object
+ServiceConnectionError = object
+ServiceError = object
+ServiceTimeoutError = object
 SessionConfig = object
 SessionStats = object
 SimRequest = object
@@ -30,6 +33,9 @@ def sweep():
 
 __all__ = [
     "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceTimeoutError",
     "SessionConfig",
     "SessionStats",
     "SimRequest",

@@ -6,6 +6,9 @@ is missing, ``teleport`` is exported without being documented, and
 """
 
 ServiceClient = object
+ServiceConnectionError = object
+ServiceError = object
+ServiceTimeoutError = object
 SessionConfig = object
 SessionStats = object
 SimRequest = object
@@ -32,6 +35,9 @@ def sweep():
 __all__ = [
     "simulate",
     "ServiceClient",
+    "ServiceConnectionError",
+    "ServiceError",
+    "ServiceTimeoutError",
     "SessionConfig",
     "SessionStats",
     "SimRequest",

@@ -37,6 +37,21 @@ def _operands(seed, m, k, n, spread, sparsity):
     return a, b
 
 
+def _bimodal_operands(seed, m, k, n):
+    """Same-sign operands over two exponent binades.
+
+    Large same-sign terms drive group-sums past float32's 2**24 exact
+    range while the small-binade terms snap to odd integers -- the
+    combination that exposed the frac-only float32 gate.
+    """
+    r = np.random.default_rng(seed)
+    scale_a = np.where(r.random((m, k)) < 0.25, 2.0**-4, 1.0)
+    a = np.abs(r.normal(1.5, 0.3, (m, k))).clip(1.0, 1.99) * scale_a
+    scale_b = np.where(r.random((k, n)) < 0.25, 2.0**-4, 1.0)
+    b = np.abs(r.normal(1.5, 0.3, (k, n))).clip(1.0, 1.99) * scale_b
+    return a, b
+
+
 def _assert_same(got, want):
     both_nan = np.isnan(got) & np.isnan(want)
     same = ((got == want) & (np.signbit(got) == np.signbit(want))) | both_nan
@@ -103,3 +118,76 @@ class TestChunkedMatchesReference:
         got = engine.matmul(a, b)
         assert (got == 0.0).all()
         _assert_same(got, engine._matmul_emulated_reference(a, b, True))
+
+
+class TestFloat32ExactnessBoundary:
+    """The chunked path's float32 group-sum gate at the 2^24 boundary.
+
+    Snapped terms are integers bounded by ``2**(frac + 2)``, so a
+    group-sum fits float32's 24-bit significand exactly iff
+    ``group * 2**(frac + 2) <= 2**24``.  The gate must be group-aware:
+    the old ``frac <= 18`` cutoff silently overflowed float32 at
+    ``group=64, frac=18`` (bound ``2**26``).
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        frac_bits=st.sampled_from([17, 18, 19]),
+        mode=st.sampled_from(["bf16", "fpraker"]),
+        spread=st.sampled_from([0, 4, 20]),
+    )
+    def test_property_at_boundary_fracs(self, seed, frac_bits, mode, spread):
+        engine = MatmulEngine(EngineConfig(mode=mode, acc_frac_bits=frac_bits))
+        a, b = _operands(seed, 6, 130, 4, spread, 0.2)
+        _assert_same(
+            engine.matmul(a, b),
+            engine._matmul_emulated_reference(a, b, mode == "fpraker"),
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        frac_bits=st.sampled_from([17, 18, 19]),
+        mode=st.sampled_from(["bf16", "fpraker"]),
+    )
+    def test_wide_group_at_boundary_fracs(self, seed, frac_bits, mode):
+        # Regression: group=64 with frac=18 bounds the group-sum by
+        # 2**26 > 2**24, which the old frac-only gate ran in float32.
+        engine = MatmulEngine(
+            EngineConfig(mode=mode, acc_frac_bits=frac_bits, group=64)
+        )
+        a, b = _bimodal_operands(seed, 4, 256, 3)
+        _assert_same(
+            engine.matmul(a, b),
+            engine._matmul_emulated_reference(a, b, mode == "fpraker"),
+        )
+
+    @pytest.mark.parametrize("mode", ["bf16", "fpraker"])
+    def test_wide_group_known_divergence(self, mode):
+        # This exact input diverged from the reference under the old
+        # frac-only gate: same-sign large terms push the group-sum past
+        # 2**24 while smaller-exponent terms snap to odd integers, so
+        # the float32 sum loses unit bits and the final rounding flips.
+        engine = MatmulEngine(
+            EngineConfig(mode=mode, acc_frac_bits=18, group=64)
+        )
+        a, b = _bimodal_operands(0, 4, 256, 4)
+        _assert_same(
+            engine.matmul(a, b),
+            engine._matmul_emulated_reference(a, b, mode == "fpraker"),
+        )
+
+    def test_gate_is_group_aware(self):
+        # Direct pin on the dtype choice: default group=8 stays
+        # float32 through frac=19; group=64 must widen at frac=18.
+        assert 8 * (1 << (19 + 2)) <= (1 << 24)
+        assert 64 * (1 << (18 + 2)) > (1 << 24)
+        a, b = _operands(3, 2, 150, 2, 6, 0.0)
+        wide = MatmulEngine(
+            EngineConfig(mode="fpraker", acc_frac_bits=18, group=64)
+        )
+        _assert_same(
+            wide.matmul(a, b),
+            wide._matmul_emulated_reference(a, b, True),
+        )

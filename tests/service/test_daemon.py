@@ -12,7 +12,14 @@ from repro.harness.runner import (
     SimRequest,
     SimulationSession,
 )
-from repro.service.client import ServiceClient, ServiceError, connect
+from repro.service import wire
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+    connect,
+)
 from repro.service.daemon import background_daemon
 from repro.service.store import ResultStore
 
@@ -131,6 +138,21 @@ class TestSweep:
         for ours, theirs in zip(remote, local):
             assert json.dumps(ours.to_dict()) == json.dumps(theirs.to_dict())
 
+    def test_empty_sweep_returns_empty_outcome(self, service):
+        # Regression: an empty batch used to 400 at the wire layer; it
+        # must come back as a valid outcome with an all-zero tally.
+        client, store = service
+        outcome = client.sweep([])
+        assert outcome.results == [] and outcome.statuses == []
+        assert outcome.stats == {"hit": 0, "miss": 0, "pending": 0}
+        assert outcome.hit_fraction == 0.0
+        assert len(store) == 0  # nothing was simulated
+
+    def test_empty_sweep_via_in_process_api(self):
+        import repro.api as api
+
+        assert api.sweep([], session_config=QUICK) == []
+
 
 class TestStatsAndHealth:
     def test_healthz(self, service):
@@ -174,12 +196,99 @@ class TestHttpErrors:
         assert status == 400 and "progress" in body["error"]
 
     def test_client_surfaces_daemon_error(self, url):
-        # An empty sweep passes the client but the daemon rejects it;
+        # A malformed sweep entry reaches the daemon over the raw
+        # transport (the public sweep() validates client-side first);
         # the ServiceError carries the daemon's message and status.
         client = ServiceClient(url)
-        with pytest.raises(ServiceError, match="non-empty") as err:
-            client.sweep([])
+        body = {
+            "schema": wire.ENVELOPE_SCHEMA,
+            "requests": [{"model": 5}],
+            "wait": True,
+        }
+        with pytest.raises(ServiceError, match=r"requests\[0\]") as err:
+            client._call("POST", "/sweep", body)
         assert err.value.status == 400
+
+
+class TestClientErrors:
+    def test_connection_refused_is_typed_and_names_url(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2.0)
+        with pytest.raises(ServiceConnectionError, match="127.0.0.1:1"):
+            client.stats()
+
+    def test_connection_error_is_catchable_as_service_error(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2.0)
+        with pytest.raises(ServiceError):
+            client.stats()
+
+    def test_socket_timeout_is_typed_and_names_url(self):
+        import socket
+        import threading
+
+        # A listener that accepts but never answers: the HTTP round
+        # trip stalls on the response and must surface a typed timeout.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def _accept():
+            try:
+                accepted.append(listener.accept()[0])
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=_accept, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=0.5)
+            with pytest.raises(
+                ServiceTimeoutError, match=f"127.0.0.1:{port}"
+            ):
+                client.stats()
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()
+            thread.join(timeout=5)
+
+    def test_wait_false_uses_poll_timeout(self):
+        # A wait=False poll must run under poll_timeout, not the full
+        # cold-run timeout -- verified against a never-answering socket.
+        import socket
+        import threading
+        import time as time_mod
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def _accept():
+            try:
+                accepted.append(listener.accept()[0])
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=_accept, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=600.0,
+                poll_timeout=0.5,
+            )
+            start = time_mod.monotonic()
+            with pytest.raises(ServiceTimeoutError):
+                client.submit("NCF", wait=False)
+            assert time_mod.monotonic() - start < 30
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()
+            thread.join(timeout=5)
 
 
 class TestConnect:

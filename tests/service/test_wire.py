@@ -121,9 +121,17 @@ class TestEnvelopes:
         assert [r.model for r in requests] == ["NCF", "SNLI", "NCF"]
         assert wait is True
 
-    def test_parse_sweep_rejects_empty(self):
-        with pytest.raises(WireFormatError, match="non-empty"):
-            wire.parse_sweep(_envelope(requests=[]))
+    def test_parse_sweep_accepts_empty_list(self):
+        # Regression: an empty sweep is a valid (trivial) batch, not a
+        # wire error -- the daemon answers it with zero results.
+        requests, wait = wire.parse_sweep(_envelope(requests=[]))
+        assert requests == [] and wait is True
+
+    def test_parse_sweep_rejects_non_list(self):
+        with pytest.raises(WireFormatError, match="'requests' list"):
+            wire.parse_sweep(_envelope(requests={"model": "NCF"}))
+        with pytest.raises(WireFormatError, match="'requests' list"):
+            wire.parse_sweep(_envelope())
 
     def test_parse_sweep_error_carries_index(self):
         payload = _envelope(
